@@ -1,0 +1,115 @@
+// Command gadget drives the lower-bound pipeline of §4:
+//
+//	-fig=1          E6: build the Figure 1 base and verify its structure
+//	-fig=2          E7: the diameter gadget and the Lemma 4.4 gap
+//	-fig=3          E8: the contracted view and Table 2
+//	-fig=4          E9: the radius gadget and the Lemma 4.9 gap
+//	-exp=simulation E10: the Lemma 4.1 Server-model simulation
+//	-exp=reduction  E11: the end-to-end Theorem 4.2/4.8 decision
+//	-exp=formulas   E13: the F/F'/VER/GDT machinery
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qcongest/internal/exp"
+	"qcongest/internal/gadget"
+	"qcongest/internal/server"
+)
+
+func main() {
+	var (
+		fig    = flag.Int("fig", 0, "figure to regenerate: 1, 2, 3, or 4")
+		which  = flag.String("exp", "", "experiment: simulation, reduction, formulas")
+		h      = flag.Int("h", 2, "tree height h (even); n = Θ(2^(3h/2))")
+		trials = flag.Int("trials", 4, "number of random inputs")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *fig == 1:
+		for _, rep := range exp.Figure1Suite([]int{*h}, *seed) {
+			die(rep.Err)
+			fmt.Printf("h=%d: n=%d (formula %d), unweighted diameter %d = Θ(h), connected=%v\n",
+				rep.H, rep.Structure.N, rep.Structure.NFormula,
+				rep.Structure.UnweightedDiameter, rep.Structure.Connected)
+		}
+
+	case *fig == 2 || *fig == 4:
+		radius := *fig == 4
+		name, lemma := "diameter", "4.4"
+		if radius {
+			name, lemma = "radius", "4.9"
+		}
+		reps, err := exp.GapExperiment(*h, radius, *trials, *seed)
+		die(err)
+		fmt.Printf("Lemma %s (%s gadget, h=%d, α=n², β=2n²):\n", lemma, name, *h)
+		for i, r := range reps {
+			fmt.Printf("  trial %d: %v\n", i, r)
+			if !r.Satisfied {
+				die(fmt.Errorf("dichotomy violated"))
+			}
+		}
+
+	case *fig == 3:
+		vio, checked, err := exp.Table2Experiment(*h, *trials, *seed)
+		die(err)
+		fmt.Printf("Table 2 on contracted G' (h=%d): %d inputs checked, %d violations\n", *h, checked, vio)
+		if vio > 0 {
+			os.Exit(1)
+		}
+
+	case *which == "simulation":
+		rep, err := exp.SimulationExperiment(*h, *seed)
+		die(err)
+		fmt.Printf("Lemma 4.1 simulation (h=%d):\n", *h)
+		fmt.Printf("  rounds                %d (schedule supports < 2^h/2)\n", rep.Rounds)
+		fmt.Printf("  total messages        %d\n", rep.TotalMessages)
+		fmt.Printf("  charged (Alice/Bob)   %d  (≤ 2h·T = %d)\n", rep.ChargedMessages, rep.LemmaTotalCap)
+		fmt.Printf("  free (server)         %d\n", rep.FreeMessages)
+		fmt.Printf("  max charged per round %d  (≤ 2h = %d)\n", rep.MaxChargedPerRnd, rep.LemmaPerRoundCap)
+		fmt.Printf("  charged bits          %d  (B = %d)\n", rep.ChargedBits, rep.BitsPerMessage)
+		fmt.Printf("  within lemma bounds   %v\n", rep.WithinLemmaBounds)
+
+	case *which == "reduction":
+		reps, err := exp.ReductionExperiment(*h, *trials, *seed)
+		die(err)
+		fmt.Printf("Theorem 4.2/4.8 reduction (h=%d, α=n², β=2n²):\n", *h)
+		for _, r := range reps {
+			metric := "diameter"
+			if r.Radius {
+				metric = "radius"
+			}
+			fmt.Printf("  %-8s estimate=%d threshold=%d decided=%v truth=%v correct=%v (Ω̃ lower bound ≈ %.0f rounds)\n",
+				metric, r.Outcome.Estimate, r.Outcome.Threshold, r.Outcome.Decided, r.Outcome.Truth, r.Outcome.Correct, r.LowerBnd)
+			if !r.Outcome.Correct {
+				os.Exit(1)
+			}
+		}
+
+	case *which == "formulas":
+		rep, err := exp.FormulaExperiment(*h)
+		die(err)
+		fmt.Printf("Lemma 4.5-4.7 machinery (h=%d):\n", *h)
+		fmt.Printf("  F = AND∘(OR∘AND₂): size %d = 2^s·ℓ, read-once %v\n", rep.FSize, rep.FReadOnce)
+		fmt.Printf("  F' = OR∘AND₂: read-once %v\n", rep.FpReadOnce)
+		fmt.Printf("  VER promise embeds in GDT: %v\n", rep.VEROk)
+		n, _ := gadget.NodeCount(*h)
+		fmt.Printf("  Qsv lower bound Ω(√(2^s·ℓ)) → Ω̃(n^(2/3)) ≈ %.0f rounds at n=%d\n",
+			server.LowerBoundRounds(n), n)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gadget: %v\n", err)
+		os.Exit(1)
+	}
+}

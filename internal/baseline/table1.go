@@ -1,0 +1,127 @@
+package baseline
+
+import "math"
+
+// CostFn is an asymptotic round-cost shape as a function of n and D,
+// with all constants and polylog factors set to 1.
+type CostFn func(n, d float64) float64
+
+// Row is one line of the paper's Table 1: the complexity of computing the
+// diameter or radius in the CONGEST model.
+type Row struct {
+	Problem        string // "diameter" or "radius"
+	Variant        string // "unweighted" or "weighted"
+	Approx         string // approximation regime
+	UpperClassical CostFn
+	UpperQuantum   CostFn
+	LowerClassical CostFn
+	LowerQuantum   CostFn
+	SourceUpper    string
+	SourceLower    string
+	ThisWork       bool
+}
+
+// Named cost shapes used by Table 1.
+func costN(n, _ float64) float64       { return n }
+func costSqrtND(n, d float64) float64  { return math.Sqrt(n * d) }
+func costCbrt(n, d float64) float64    { return math.Cbrt(n*d*d) + math.Sqrt(n) }
+func costSqrtN(n, d float64) float64   { return math.Sqrt(n) + d }
+func costCbrtND(n, d float64) float64  { return math.Cbrt(n*d) + d }
+func costChechik(n, d float64) float64 { return math.Sqrt(n)*math.Pow(d, 0.25) + d }
+func costN23(n, _ float64) float64 {
+	l := math.Log2(n)
+	return math.Pow(n, 2.0/3.0) / (l * l)
+}
+
+// CostThisWork is the paper's upper bound min{n^(9/10)·D^(3/10), n}.
+func CostThisWork(n, d float64) float64 {
+	return math.Min(math.Pow(n, 0.9)*math.Pow(d, 0.3), n)
+}
+
+// Table1 returns the full complexity landscape of the paper's Table 1.
+// Rows marked ThisWork are the paper's contributions.
+func Table1() []Row {
+	return []Row{
+		{
+			Problem: "diameter", Variant: "unweighted", Approx: "exact",
+			UpperClassical: costN, UpperQuantum: costSqrtND,
+			LowerClassical: costN, LowerQuantum: costCbrt,
+			SourceUpper: "[17,22] / [12]", SourceLower: "[11] / [20]",
+		},
+		{
+			Problem: "diameter", Variant: "unweighted", Approx: "3/2-eps",
+			UpperClassical: costN, UpperQuantum: costSqrtND,
+			LowerClassical: costN, LowerQuantum: costSqrtN,
+			SourceUpper: "[17,22] / [12]", SourceLower: "[2] / [12]",
+		},
+		{
+			Problem: "diameter", Variant: "unweighted", Approx: "3/2",
+			UpperClassical: costSqrtN, UpperQuantum: costCbrtND,
+			SourceUpper: "[15,3] / [12]", SourceLower: "open",
+		},
+		{
+			Problem: "diameter", Variant: "weighted", Approx: "exact",
+			UpperClassical: costN, UpperQuantum: costN,
+			LowerClassical: costN, LowerQuantum: costN23,
+			SourceUpper: "[6]", SourceLower: "[2] / (this work)",
+		},
+		{
+			Problem: "diameter", Variant: "weighted", Approx: "(1,3/2)",
+			UpperClassical: costN, UpperQuantum: CostThisWork,
+			LowerClassical: costN, LowerQuantum: costN23,
+			SourceUpper: "[6] / THIS WORK", SourceLower: "[2] / THIS WORK",
+			ThisWork: true,
+		},
+		{
+			Problem: "diameter", Variant: "weighted", Approx: "2-eps",
+			UpperClassical: costN, UpperQuantum: CostThisWork,
+			LowerClassical: costN, LowerQuantum: costSqrtN,
+			SourceUpper: "THIS WORK", SourceLower: "[16] / [12]",
+			ThisWork: true,
+		},
+		{
+			Problem: "diameter", Variant: "weighted", Approx: "2",
+			UpperClassical: costChechik, UpperQuantum: costChechik,
+			SourceUpper: "[8]", SourceLower: "open",
+		},
+		{
+			Problem: "radius", Variant: "unweighted", Approx: "exact",
+			UpperClassical: costN, UpperQuantum: costSqrtND,
+			LowerClassical: costN, LowerQuantum: costCbrt,
+			SourceUpper: "[17,22] / [12]", SourceLower: "",
+		},
+		{
+			Problem: "radius", Variant: "unweighted", Approx: "3/2-eps",
+			UpperClassical: costN, UpperQuantum: costSqrtND,
+			LowerClassical: costN, LowerQuantum: costSqrtN,
+			SourceUpper: "", SourceLower: "[2]",
+		},
+		{
+			Problem: "radius", Variant: "unweighted", Approx: "3/2",
+			UpperClassical: costSqrtN, UpperQuantum: costSqrtN,
+			SourceUpper: "[3]", SourceLower: "open",
+		},
+		{
+			Problem: "radius", Variant: "weighted", Approx: "exact",
+			UpperClassical: costN, UpperQuantum: costN,
+			LowerClassical: costN, LowerQuantum: costN23,
+			SourceUpper: "[6]", SourceLower: "(this work)",
+		},
+		{
+			Problem: "radius", Variant: "weighted", Approx: "(1,3/2)",
+			UpperClassical: costN, UpperQuantum: CostThisWork,
+			LowerClassical: costN, LowerQuantum: costN23,
+			SourceUpper: "THIS WORK", SourceLower: "THIS WORK",
+			ThisWork: true,
+		},
+		{
+			Problem: "radius", Variant: "weighted", Approx: "2",
+			UpperClassical: costChechik, UpperQuantum: costChechik,
+			SourceUpper: "[8]", SourceLower: "open",
+		},
+	}
+}
+
+// CrossoverD returns the D at which the paper's bound stops beating the
+// classical Θ(n): n^(9/10)·D^(3/10) = n at D = n^(1/3).
+func CrossoverD(n float64) float64 { return math.Cbrt(n) }

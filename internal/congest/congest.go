@@ -1,0 +1,216 @@
+// Package congest implements a synchronous CONGEST-model network simulator
+// (§2.2 of the paper). The network is a weighted graph; in each round every
+// node receives the messages sent to it in the previous round, performs
+// unbounded local computation, and sends at most Capacity messages of
+// O(log n) bits to each neighbor. The simulator enforces the bandwidth
+// constraint (a violation is an error, not silent queueing: CONGEST
+// algorithms are responsible for their own scheduling) and counts rounds
+// and messages exactly.
+//
+// Round complexity is a combinatorial property of the schedule, so the
+// simulator reproduces the paper's cost measure exactly; wall-clock time is
+// irrelevant to the model.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"qcongest/internal/graph"
+)
+
+// Message is one CONGEST message of O(log n) bits: a kind tag and up to
+// four word-sized fields. One Message consumes one unit of per-edge
+// bandwidth.
+type Message struct {
+	Kind       uint8
+	A, B, C, D int64
+}
+
+// Received pairs a message with its sender.
+type Received struct {
+	From int
+	Msg  Message
+}
+
+// Send pairs a message with its destination, which must be a neighbor.
+type Send struct {
+	To  int
+	Msg Message
+}
+
+// Env is the local knowledge a node has at initialization: its identifier,
+// the network size, its incident edges with weights, and a private PRNG
+// seeded deterministically from the run seed and node ID.
+type Env struct {
+	ID        int
+	N         int
+	Neighbors []graph.Arc
+	Rand      *rand.Rand
+}
+
+// Proc is a node procedure. Init is called once before round 0. Step is
+// called every round with the inbox (messages sent to this node in the
+// previous round) and returns the outbox plus whether this node has
+// produced its final output. A done node keeps receiving Step calls (its
+// links still carry traffic) but typically returns an empty outbox.
+type Proc interface {
+	Init(env *Env)
+	Step(round int, inbox []Received) (outbox []Send, done bool)
+}
+
+// Stats aggregates the cost of a run.
+type Stats struct {
+	Rounds        int   // rounds until all nodes were done
+	Messages      int64 // total messages delivered
+	MaxEdgeLoad   int   // max messages on one directed edge in one round
+	BusiestRound  int   // round index with the most traffic
+	BusiestVolume int64 // messages in that round
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("rounds=%d msgs=%d maxEdgeLoad=%d", s.Rounds, s.Messages, s.MaxEdgeLoad)
+}
+
+// ErrCongestion is returned when a node exceeds the per-edge bandwidth.
+var ErrCongestion = errors.New("congest: per-edge bandwidth exceeded")
+
+// ErrRoundLimit is returned when the round limit is hit before all nodes
+// finish.
+var ErrRoundLimit = errors.New("congest: round limit exceeded")
+
+// Options configure a run.
+type Options struct {
+	// Capacity is the number of messages each directed edge can carry per
+	// round. The model allows B = O(log n) bits and one Message is O(log n)
+	// bits, so the default is 1.
+	Capacity int
+	// MaxRounds aborts runaway algorithms. Default 4*n^2 + 64.
+	MaxRounds int
+	// Seed drives all node-local randomness.
+	Seed int64
+	// Trace, when set, observes every delivered message. Round is the
+	// Step index during which the message was sent. Used by the Server-
+	// model simulation (Lemma 4.1) to count party-crossing traffic.
+	Trace func(round, from, to int, msg Message)
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Capacity <= 0 {
+		o.Capacity = 1
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 4*n*n + 64
+	}
+	return o
+}
+
+// Sim is a configured simulation instance. Construct with NewSim, then Run.
+type Sim struct {
+	g     *graph.Graph
+	procs []Proc
+	opts  Options
+}
+
+// NewSim builds a simulator over network g where node i runs procs[i].
+func NewSim(g *graph.Graph, procs []Proc, opts Options) (*Sim, error) {
+	if len(procs) != g.N() {
+		return nil, fmt.Errorf("congest: %d procs for %d nodes", len(procs), g.N())
+	}
+	return &Sim{g: g, procs: procs, opts: opts.withDefaults(g.N())}, nil
+}
+
+// Run executes the simulation until every node reports done, returning the
+// exact round/message statistics.
+func (s *Sim) Run() (Stats, error) {
+	n := s.g.N()
+	for i := 0; i < n; i++ {
+		s.procs[i].Init(&Env{
+			ID:        i,
+			N:         n,
+			Neighbors: s.g.Neighbors(i),
+			Rand:      rand.New(rand.NewSource(s.opts.Seed*1_000_003 + int64(i))),
+		})
+	}
+
+	neighborSet := make([]map[int]bool, n)
+	for i := 0; i < n; i++ {
+		neighborSet[i] = make(map[int]bool, s.g.Degree(i))
+		for _, a := range s.g.Neighbors(i) {
+			neighborSet[i][a.To] = true
+		}
+	}
+
+	inboxes := make([][]Received, n)
+	nextInboxes := make([][]Received, n)
+	done := make([]bool, n)
+	doneCount := 0
+	var stats Stats
+	edgeLoad := make(map[[2]int]int)
+
+	for round := 0; ; round++ {
+		if round >= s.opts.MaxRounds {
+			return stats, fmt.Errorf("%w: %d rounds (limit %d)", ErrRoundLimit, round, s.opts.MaxRounds)
+		}
+		var volume int64
+		clear(edgeLoad)
+		anyActive := false
+		for i := 0; i < n; i++ {
+			out, d := s.procs[i].Step(round, inboxes[i])
+			if d && !done[i] {
+				done[i] = true
+				doneCount++
+			}
+			for _, snd := range out {
+				if !neighborSet[i][snd.To] {
+					return stats, fmt.Errorf("congest: node %d sent to non-neighbor %d in round %d", i, snd.To, round)
+				}
+				key := [2]int{i, snd.To}
+				edgeLoad[key]++
+				if edgeLoad[key] > s.opts.Capacity {
+					return stats, fmt.Errorf("%w: node %d -> %d sent %d messages in round %d (capacity %d)",
+						ErrCongestion, i, snd.To, edgeLoad[key], round, s.opts.Capacity)
+				}
+				if edgeLoad[key] > stats.MaxEdgeLoad {
+					stats.MaxEdgeLoad = edgeLoad[key]
+				}
+				nextInboxes[snd.To] = append(nextInboxes[snd.To], Received{From: i, Msg: snd.Msg})
+				volume++
+				if s.opts.Trace != nil {
+					s.opts.Trace(round, i, snd.To, snd.Msg)
+				}
+			}
+			if len(out) > 0 {
+				anyActive = true
+			}
+		}
+		stats.Messages += volume
+		if volume > stats.BusiestVolume {
+			stats.BusiestVolume = volume
+			stats.BusiestRound = round
+		}
+		if doneCount == n && !anyActive {
+			stats.Rounds = round + 1
+			return stats, nil
+		}
+		for i := 0; i < n; i++ {
+			inboxes[i] = inboxes[i][:0]
+		}
+		inboxes, nextInboxes = nextInboxes, inboxes
+	}
+}
+
+// RunProcs is a convenience wrapper: it builds one Proc per node via mk and
+// runs the simulation.
+func RunProcs(g *graph.Graph, mk func(id int) Proc, opts Options) (Stats, error) {
+	procs := make([]Proc, g.N())
+	for i := range procs {
+		procs[i] = mk(i)
+	}
+	sim, err := NewSim(g, procs, opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	return sim.Run()
+}

@@ -1,0 +1,257 @@
+package congest
+
+import (
+	"errors"
+	"testing"
+
+	"qcongest/internal/graph"
+)
+
+// echoProc broadcasts a single message in round 0 and records what it hears.
+type echoProc struct {
+	env   *Env
+	heard []Received
+}
+
+func (p *echoProc) Init(env *Env) { p.env = env }
+
+func (p *echoProc) Step(round int, inbox []Received) ([]Send, bool) {
+	p.heard = append(p.heard, inbox...)
+	if round == 0 {
+		out := make([]Send, 0, len(p.env.Neighbors))
+		for _, a := range p.env.Neighbors {
+			out = append(out, Send{To: a.To, Msg: Message{Kind: 1, A: int64(p.env.ID)}})
+		}
+		return out, false
+	}
+	return nil, round >= 1
+}
+
+func TestSingleBroadcastDelivery(t *testing.T) {
+	g := graph.Star(4)
+	procs := make([]Proc, 4)
+	nodes := make([]*echoProc, 4)
+	for i := range procs {
+		nodes[i] = &echoProc{}
+		procs[i] = nodes[i]
+	}
+	sim, err := NewSim(g, procs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Center (node 0) hears from 3 leaves; each leaf hears from the center.
+	if len(nodes[0].heard) != 3 {
+		t.Errorf("center heard %d messages, want 3", len(nodes[0].heard))
+	}
+	for i := 1; i < 4; i++ {
+		if len(nodes[i].heard) != 1 || nodes[i].heard[0].From != 0 {
+			t.Errorf("leaf %d heard %v, want one message from 0", i, nodes[i].heard)
+		}
+	}
+	if stats.Messages != 6 {
+		t.Errorf("total messages = %d, want 6", stats.Messages)
+	}
+	if stats.MaxEdgeLoad != 1 {
+		t.Errorf("max edge load = %d, want 1", stats.MaxEdgeLoad)
+	}
+}
+
+// floodProc violates capacity by sending two messages on one edge.
+type floodProc struct{ env *Env }
+
+func (p *floodProc) Init(env *Env) { p.env = env }
+func (p *floodProc) Step(round int, inbox []Received) ([]Send, bool) {
+	if round == 0 && p.env.ID == 0 {
+		to := p.env.Neighbors[0].To
+		return []Send{
+			{To: to, Msg: Message{Kind: 1}},
+			{To: to, Msg: Message{Kind: 2}},
+		}, false
+	}
+	return nil, true
+}
+
+func TestCongestionViolation(t *testing.T) {
+	g := graph.Path(2)
+	_, err := RunProcs(g, func(int) Proc { return &floodProc{} }, Options{Capacity: 1})
+	if !errors.Is(err, ErrCongestion) {
+		t.Fatalf("err = %v, want ErrCongestion", err)
+	}
+	// With capacity 2 the same schedule is legal.
+	if _, err := RunProcs(g, func(int) Proc { return &floodProc{} }, Options{Capacity: 2}); err != nil {
+		t.Fatalf("capacity-2 run failed: %v", err)
+	}
+}
+
+// nonNeighborProc sends to a node it has no edge to.
+type nonNeighborProc struct{ env *Env }
+
+func (p *nonNeighborProc) Init(env *Env) { p.env = env }
+func (p *nonNeighborProc) Step(round int, inbox []Received) ([]Send, bool) {
+	if round == 0 && p.env.ID == 0 {
+		return []Send{{To: 2, Msg: Message{}}}, false
+	}
+	return nil, true
+}
+
+func TestNonNeighborSendRejected(t *testing.T) {
+	g := graph.Path(3) // 0-1-2; node 0 is not adjacent to 2
+	_, err := RunProcs(g, func(int) Proc { return &nonNeighborProc{} }, Options{})
+	if err == nil {
+		t.Fatal("expected error for non-neighbor send")
+	}
+}
+
+// spinProc never finishes.
+type spinProc struct{}
+
+func (p *spinProc) Init(*Env)                           {}
+func (p *spinProc) Step(int, []Received) ([]Send, bool) { return nil, false }
+
+func TestRoundLimit(t *testing.T) {
+	g := graph.Path(2)
+	_, err := RunProcs(g, func(int) Proc { return &spinProc{} }, Options{MaxRounds: 10})
+	if !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("err = %v, want ErrRoundLimit", err)
+	}
+}
+
+func TestProcCountMismatch(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := NewSim(g, make([]Proc, 2), Options{}); err == nil {
+		t.Fatal("expected error for proc/node count mismatch")
+	}
+}
+
+// relayProc forwards a token down a path; node i learns in round i.
+type relayProc struct {
+	env  *Env
+	seen int64
+}
+
+func (p *relayProc) Init(env *Env) { p.env = env; p.seen = -1 }
+func (p *relayProc) Step(round int, inbox []Received) ([]Send, bool) {
+	if round == 0 && p.env.ID == 0 {
+		p.seen = 0
+		return []Send{{To: 1, Msg: Message{Kind: 1, A: 0}}}, false
+	}
+	for range inbox {
+		if p.seen == -1 {
+			p.seen = int64(round)
+			next := p.env.ID + 1
+			if next < p.env.N {
+				return []Send{{To: next, Msg: Message{Kind: 1, A: p.seen}}}, false
+			}
+		}
+	}
+	return nil, p.seen >= 0
+}
+
+func TestRelayTiming(t *testing.T) {
+	n := 8
+	g := graph.Path(n)
+	nodes := make([]*relayProc, n)
+	procs := make([]Proc, n)
+	for i := range procs {
+		nodes[i] = &relayProc{}
+		procs[i] = nodes[i]
+	}
+	sim, err := NewSim(g, procs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range nodes {
+		if p.seen != int64(i) {
+			t.Errorf("node %d learned at round %d, want %d (synchronous semantics)", i, p.seen, i)
+		}
+	}
+}
+
+func TestDeterministicSeeding(t *testing.T) {
+	// Two runs with the same seed produce identical per-node PRNG streams.
+	g := graph.Path(3)
+	draw := func(seed int64) []int64 {
+		var vals []int64
+		_, err := RunProcs(g, func(int) Proc {
+			return procFunc(func(env *Env) func(int, []Received) ([]Send, bool) {
+				return func(round int, inbox []Received) ([]Send, bool) {
+					if round == 0 {
+						vals = append(vals, env.Rand.Int63())
+					}
+					return nil, true
+				}
+			})
+		}, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+	a, b := draw(7), draw(7)
+	c := draw(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// procFunc adapts a closure factory into a Proc for tests.
+type procFuncT struct {
+	mk   func(*Env) func(int, []Received) ([]Send, bool)
+	step func(int, []Received) ([]Send, bool)
+}
+
+func procFunc(mk func(*Env) func(int, []Received) ([]Send, bool)) Proc {
+	return &procFuncT{mk: mk}
+}
+
+func (p *procFuncT) Init(env *Env) { p.step = p.mk(env) }
+func (p *procFuncT) Step(round int, inbox []Received) ([]Send, bool) {
+	return p.step(round, inbox)
+}
+
+func TestTraceObservesAllMessages(t *testing.T) {
+	g := graph.Star(5)
+	var traced int64
+	opts := Options{Trace: func(round, from, to int, msg Message) {
+		traced++
+		if round != 0 {
+			t.Errorf("message traced in round %d, want 0", round)
+		}
+	}}
+	stats, err := RunProcs(g, func(int) Proc { return &echoProc{} }, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced != stats.Messages {
+		t.Fatalf("traced %d messages, stats counted %d", traced, stats.Messages)
+	}
+}
+
+func TestBusiestRoundTracking(t *testing.T) {
+	g := graph.Complete(4)
+	stats, err := RunProcs(g, func(int) Proc { return &echoProc{} }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BusiestRound != 0 || stats.BusiestVolume != 12 {
+		t.Fatalf("busiest = (round %d, %d msgs), want (0, 12)", stats.BusiestRound, stats.BusiestVolume)
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"qcongest/internal/congest"
+	"qcongest/internal/dist"
+	"qcongest/internal/graph"
+	"qcongest/internal/qsim"
+)
+
+func TestParamsFor(t *testing.T) {
+	p, err := ParamsFor(1024, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Eps.T != 10 {
+		t.Errorf("ε = 1/%d, want 1/10", p.Eps.T)
+	}
+	// r = 1024^0.4 · 8^-0.2 ≈ 16.0/1.516 ≈ 10.6 → 11.
+	if p.R < 9 || p.R > 12 {
+		t.Errorf("r = %d, want ≈ 11", p.R)
+	}
+	// k = ⌈√8⌉ = 3.
+	if p.K != 3 {
+		t.Errorf("k = %d, want 3", p.K)
+	}
+	if p.L < 1 {
+		t.Errorf("ℓ = %d", p.L)
+	}
+}
+
+func TestParamsForErrors(t *testing.T) {
+	if _, err := ParamsFor(1, 1, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := ParamsFor(10, 0, 1); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := ParamsFor(10, 1, 0); err == nil {
+		t.Error("w=0 accepted")
+	}
+}
+
+func TestTheoremBoundCrossover(t *testing.T) {
+	// min{n^0.9·D^0.3, n}: for D < n^(1/3) the first term wins.
+	small, _ := ParamsFor(1000, 2, 1)
+	if small.TheoremBound() >= 1000 {
+		t.Errorf("low-D bound %f should be sublinear", small.TheoremBound())
+	}
+	big, _ := ParamsFor(1000, 500, 1)
+	if big.TheoremBound() != 1000 {
+		t.Errorf("high-D bound %f should cap at n", big.TheoremBound())
+	}
+}
+
+func testGraph(seed int64, n int, maxW int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return graph.RandomWeights(graph.LowDiameterExpanderish(n, 4, rng), maxW, rng)
+}
+
+func TestApproximateDiameterSandwich(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g := testGraph(seed, 48, 8)
+		trueD := g.Diameter()
+		res, err := Approximate(g, DiameterMode, Options{Seed: seed, Engine: qsim.Sampled})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := res.Params.Eps.Float()
+		upper := (1 + eps) * (1 + eps) * float64(trueD)
+		if res.Estimate > upper+1e-9 {
+			t.Errorf("seed %d: estimate %.3f above (1+ε)²·D = %.3f (D=%d)", seed, res.Estimate, upper, trueD)
+		}
+		// Lower bound holds when the search lands in the good mass (w.h.p.;
+		// these seeds are fixed and verified).
+		if res.Estimate < float64(trueD) {
+			t.Errorf("seed %d: estimate %.3f below true diameter %d", seed, res.Estimate, trueD)
+		}
+		if res.Rounds <= 0 {
+			t.Errorf("seed %d: no rounds charged", seed)
+		}
+	}
+}
+
+func TestApproximateRadiusSandwich(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g := testGraph(seed+10, 48, 8)
+		trueR := g.Radius()
+		res, err := Approximate(g, RadiusMode, Options{Seed: seed, Engine: qsim.Sampled})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ẽ(s) >= e(s) >= R for every witness, so the estimate can never
+		// undershoot the radius.
+		if res.Estimate < float64(trueR) {
+			t.Errorf("seed %d: estimate %.3f below true radius %d", seed, res.Estimate, trueR)
+		}
+		eps := res.Params.Eps.Float()
+		upper := (1 + eps) * (1 + eps) * float64(trueR)
+		if res.Estimate > upper+1e-9 {
+			t.Errorf("seed %d: estimate %.3f above (1+ε)²·R = %.3f (R=%d)", seed, res.Estimate, upper, trueR)
+		}
+	}
+}
+
+func TestApproximateErrors(t *testing.T) {
+	if _, err := Approximate(graph.New(1), DiameterMode, Options{}); err == nil {
+		t.Error("single node accepted")
+	}
+	disc := graph.New(4)
+	disc.MustAddEdge(0, 1, 1)
+	if _, err := Approximate(disc, DiameterMode, Options{}); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}
+
+func TestApproximateDeterministicGivenSeed(t *testing.T) {
+	g := testGraph(3, 32, 5)
+	a, err := Approximate(g, DiameterMode, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Approximate(g, DiameterMode, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate != b.Estimate || a.Rounds != b.Rounds || a.Index != b.Index {
+		t.Fatalf("same seed, different runs: %+v vs %+v", a, b)
+	}
+}
+
+func TestLemma34GoodIndicesMass(t *testing.T) {
+	// Count indices i with f(i) >= D_{G,w}; Lemma 3.4 says Θ(r) of them.
+	g := testGraph(7, 40, 6)
+	trueD := g.Diameter()
+	d := g.UnweightedDiameter()
+	params, err := ParamsFor(g.N(), d, g.MaxWeight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	sets := sampleSets(g.N(), g.N(), params.R, rng)
+	good := 0
+	for _, s := range sets {
+		sk := dist.BuildSkeleton(g, s, params.L, params.K, params.Eps)
+		var f int64
+		for _, cand := range s {
+			if v := sk.ApproxEccentricity(cand); v > f {
+				f = v
+			}
+		}
+		if f >= trueD*sk.DenOut {
+			good++
+		}
+		// Upper half of Lemma 3.4: f(i) <= (1+ε)²·D for every i.
+		eps := params.Eps.Float()
+		if float64(f)/float64(sk.DenOut) > (1+eps)*(1+eps)*float64(trueD)+1e-9 {
+			t.Fatalf("f(i) = %.3f above (1+ε)²·D", float64(f)/float64(sk.DenOut))
+		}
+	}
+	if good < params.R/2 {
+		t.Fatalf("only %d good indices for r = %d; Lemma 3.4 wants Θ(r)", good, params.R)
+	}
+}
+
+func TestSampleSetsScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sets := sampleSets(200, 200, 10, rng)
+	if len(sets) != 200 {
+		t.Fatalf("got %d sets", len(sets))
+	}
+	total := 0
+	for _, s := range sets {
+		if len(s) == 0 {
+			t.Fatal("empty set survived sampling")
+		}
+		total += len(s)
+	}
+	avg := float64(total) / 200
+	if avg < 5 || avg > 20 {
+		t.Fatalf("average set size %.1f, expected ≈ 10", avg)
+	}
+	if !checkGoodScale(sets, 10) {
+		t.Fatal("Good-Scale violated at sampling rate r/n")
+	}
+}
+
+func TestCostModelCoversExecutableAlg1(t *testing.T) {
+	// The fixed Algorithm 1 schedule used by the cost model must cover the
+	// executable procedure's measured rounds.
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomWeights(graph.RandomConnected(14, 28, rng), 4, rng)
+	eps := dist.EpsForN(g.N())
+	l := 3
+	_, stats, err := dist.RunAlg1(g, 0, l, eps, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model := alg1Rounds(g.N(), g.MaxWeight(), l, eps); int64(stats.Rounds) > model+2 {
+		t.Fatalf("executable Algorithm 1 took %d rounds, model schedule is %d", stats.Rounds, model)
+	}
+}
+
+func TestCostModelCoversExecutableAlg3(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.RandomWeights(graph.RandomConnected(12, 24, rng), 3, rng)
+	eps := dist.EpsForN(g.N())
+	l := 2
+	sources := []int{0, 5, 9}
+	delays := dist.SampleDelays(len(sources), g.N(), rng)
+	_, stats, err := dist.RunAlg3(g, sources, delays, l, eps, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.UnweightedDiameter()
+	if model := alg3Rounds(g.N(), g.MaxWeight(), l, eps, len(sources), d); int64(stats.Rounds) > model {
+		t.Fatalf("executable Algorithm 3 took %d rounds, model schedule is %d", stats.Rounds, model)
+	}
+}
+
+func TestInnerBudgetMonotoneInB(t *testing.T) {
+	p, err := ParamsFor(256, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(0)
+	for _, b := range []int{1, 4, 16, 64} {
+		cur := p.innerBudget(b, 1e-6)
+		if cur < prev {
+			t.Fatalf("inner budget not monotone: b=%d gives %d < %d", b, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestFixedPointSaturation(t *testing.T) {
+	if v := fixedPoint(1<<55, 3); v <= 0 {
+		t.Fatalf("fixedPoint overflowed to %d", v)
+	}
+	if v := fixedPoint(6, 3); v != 2*valueScale {
+		t.Fatalf("fixedPoint(6,3) = %d, want %d", v, 2*valueScale)
+	}
+	if v := fixedPoint(7, 2); v != 3*valueScale+valueScale/2 {
+		t.Fatalf("fixedPoint(7,2) = %d", v)
+	}
+}
+
+func TestResultLedgerConsistency(t *testing.T) {
+	g := testGraph(5, 36, 4)
+	res, err := Approximate(g, DiameterMode, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SetsEvaluated <= 0 {
+		t.Error("no sets were evaluated")
+	}
+	if res.OuterEvaluations <= 0 {
+		t.Error("no outer evaluations recorded")
+	}
+	if res.InnerRoundsMeasured <= 0 {
+		t.Error("no inner rounds recorded")
+	}
+	if res.Den <= 0 || res.Num < 0 {
+		t.Errorf("bad rational %d/%d", res.Num, res.Den)
+	}
+	if res.TheoremBound <= 0 {
+		t.Error("theorem bound missing")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+
+	"qcongest/internal/dist"
+)
+
+// Cost model for the three procedures of Lemma 3.5 and the outer search of
+// Theorem 1.1. Every formula is the exact schedule length of the
+// corresponding executable procedure in internal/dist (where one exists)
+// or the explicit-constant form of the Appendix A bound; integration tests
+// check the executable procedures stay within these schedules.
+
+// alg1PhaseRounds is the fixed per-phase schedule of Algorithm 1:
+// (1+2T)ℓ + 2 rounds.
+func alg1PhaseRounds(l int, eps dist.Eps) int64 {
+	return (1+2*eps.T)*int64(l) + 2
+}
+
+// alg1Rounds is the fixed schedule of Algorithm 1: one phase per rounding
+// index.
+func alg1Rounds(n int, w int64, l int, eps dist.Eps) int64 {
+	return int64(dist.IMax(n, w, eps)+1) * alg1PhaseRounds(l, eps)
+}
+
+// alg3Rounds is the fixed schedule of Algorithm 3 with b sources: the
+// Algorithm 1 schedule plus the maximum random delay, all stretched by
+// C = ⌈log2 n⌉ subrounds, plus the O(D + b) leader broadcast of delays.
+func alg3Rounds(n int, w int64, l int, eps dist.Eps, b int, d int64) int64 {
+	c := int64(dist.SubroundsPerLogical(n))
+	maxDelay := int64(b)*c + 1
+	logical := maxDelay + alg1Rounds(n, w, l, eps) + 1
+	return d + int64(b) + logical*c
+}
+
+// embedRounds is the Algorithm 4 schedule: each of the b skeleton nodes
+// broadcasts its k shortest overlay edges, O(D + b·k) rounds by pipelined
+// dissemination.
+func embedRounds(d int64, b, k int) int64 {
+	return d + int64(b*k) + 1
+}
+
+// overlaySSSPRounds is the Algorithm 5 schedule: T' logical rounds of
+// Algorithm 1 on the overlay network (hop budget ℓ' = ⌈4b/k⌉, weights up
+// to n·W), each implemented by a global broadcast of O(D + a) rounds, plus
+// the total broadcast volume O(b·log n).
+func overlaySSSPRounds(n int, w int64, b, k int, eps dist.Eps, d int64) int64 {
+	lp := (4*b + k - 1) / k
+	if lp < 1 {
+		lp = 1
+	}
+	tPrime := alg1Rounds(b+1, int64(n)*w, lp, eps)
+	c := int64(dist.SubroundsPerLogical(n))
+	return tPrime*(d+1) + int64(b)*c
+}
+
+// InnerCosts is the Lemma 3.5 decomposition for one index i: the fixed
+// schedules of Initialization_i (T0), Setup_i (T1), and Evaluation_i (T2).
+type InnerCosts struct {
+	T0 int64
+	T1 int64
+	T2 int64
+}
+
+// innerCosts instantiates Lemma 3.5's round analysis for skeleton size b:
+//
+//	T0 = Õ(D + n/(ε·r) + r·k): multi-source bounded-hop SSSP + overlay embed
+//	T1 = Õ(r/(ε·k)·D + r):     collect S_i, broadcast state, overlay SSSP
+//	T2 = O(D):                 local combine + converge-cast
+func (p Params) innerCosts(b int) InnerCosts {
+	if b < 1 {
+		b = 1
+	}
+	return InnerCosts{
+		T0: alg3Rounds(p.N, p.W, p.L, p.Eps, b, p.D) + embedRounds(p.D, b, p.K),
+		T1: (p.D + int64(b)) + p.D + overlaySSSPRounds(p.N, p.W, b, p.K, p.Eps, p.D),
+		T2: p.D,
+	}
+}
+
+// innerBudget is the fixed Lemma 3.1 budget of the inner search over S_i:
+// T0 + O(√(log(1/δ)·b))·(T1+T2) with ρ = 1/b (the maximizer may be
+// unique).
+func (p Params) innerBudget(b int, delta float64) int64 {
+	c := p.innerCosts(b)
+	k := int64(math.Ceil(math.Sqrt(math.Log(1/delta) * float64(b))))
+	return c.T0 + 3*k*(c.T1+c.T2)
+}

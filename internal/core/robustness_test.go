@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"qcongest/internal/graph"
+	"qcongest/internal/qsim"
+)
+
+// Robustness and failure-injection tests: the algorithm must stay
+// correct (estimate within [truth, (1+ε)²·truth] on search success, and
+// never crash) on degenerate topologies, extreme weights, and reduced
+// failure budgets.
+
+func TestApproximateOnPath(t *testing.T) {
+	// D = n-1: the min{n^0.9·D^0.3, n} cap regime; r collapses to 1.
+	g := graph.Path(24)
+	res, err := Approximate(g, DiameterMode, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Params.R != 1 {
+		t.Logf("r = %d on a path (expected near 1)", res.Params.R)
+	}
+	if res.Estimate < float64(g.Diameter()) {
+		t.Fatalf("estimate %f below diameter %d", res.Estimate, g.Diameter())
+	}
+	eps := res.Params.Eps.Float()
+	if res.Estimate > (1+eps)*(1+eps)*float64(g.Diameter()) {
+		t.Fatalf("estimate %f above bound", res.Estimate)
+	}
+}
+
+func TestApproximateOnCompleteGraph(t *testing.T) {
+	// D = 1: maximal quantum advantage regime.
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomWeights(graph.Complete(20), 9, rng)
+	res, err := Approximate(g, DiameterMode, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := g.Diameter()
+	if res.Estimate < float64(truth) {
+		t.Fatalf("estimate %f below diameter %d", res.Estimate, truth)
+	}
+}
+
+func TestApproximateOnStar(t *testing.T) {
+	g := graph.Star(30)
+	for _, mode := range []Mode{DiameterMode, RadiusMode} {
+		res, err := Approximate(g, mode, Options{Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		want := int64(2)
+		if mode == RadiusMode {
+			want = 1
+		}
+		if res.Estimate < float64(want) {
+			t.Fatalf("%v: estimate %f below truth %d", mode, res.Estimate, want)
+		}
+	}
+}
+
+func TestApproximateUniformWeights(t *testing.T) {
+	// All weights equal: weighted metrics collapse to scaled unweighted.
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomConnected(30, 70, rng).Reweight(func(int64) int64 { return 7 })
+	res, err := Approximate(g, DiameterMode, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := g.Diameter()
+	if truth != 7*g.UnweightedDiameter() {
+		t.Fatalf("sanity: weighted %d != 7·unweighted %d", truth, g.UnweightedDiameter())
+	}
+	if res.Estimate < float64(truth) {
+		t.Fatalf("estimate %f below %d", res.Estimate, truth)
+	}
+}
+
+func TestApproximateLargeWeights(t *testing.T) {
+	// Large W stresses the rational arithmetic (clamps must not overflow).
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomWeights(graph.LowDiameterExpanderish(24, 4, rng), 1<<16, rng)
+	res, err := Approximate(g, DiameterMode, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := g.Diameter()
+	eps := res.Params.Eps.Float()
+	if res.Estimate < float64(truth) || res.Estimate > (1+eps)*(1+eps)*float64(truth)+1 {
+		t.Fatalf("estimate %f outside bounds for truth %d", res.Estimate, truth)
+	}
+}
+
+func TestApproximateTinyGraphs(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		g := graph.Path(n)
+		res, err := Approximate(g, DiameterMode, Options{Seed: int64(n)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Estimate < float64(n-1) {
+			t.Fatalf("n=%d: estimate %f below %d", n, res.Estimate, n-1)
+		}
+	}
+}
+
+func TestApproximateReducedSets(t *testing.T) {
+	// Options.Sets trades failure probability for speed; the estimate must
+	// stay within the upper bound regardless.
+	g := testGraph(6, 40, 8)
+	res, err := Approximate(g, DiameterMode, Options{Seed: 6, Sets: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := g.Diameter()
+	eps := res.Params.Eps.Float()
+	if res.Estimate > (1+eps)*(1+eps)*float64(truth)+1e-9 {
+		t.Fatalf("estimate %f above bound with reduced sets", res.Estimate)
+	}
+}
+
+func TestApproximateExactEngine(t *testing.T) {
+	// The exact state-vector engine must agree with the sampled engine on
+	// the quality guarantee (domains here are small enough to simulate).
+	g := testGraph(7, 24, 6)
+	res, err := Approximate(g, DiameterMode, Options{Seed: 7, Engine: qsim.Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := g.Diameter()
+	eps := res.Params.Eps.Float()
+	if res.Estimate < float64(truth) || res.Estimate > (1+eps)*(1+eps)*float64(truth)+1e-9 {
+		t.Fatalf("exact engine estimate %f outside bounds (truth %d)", res.Estimate, truth)
+	}
+}
+
+func TestApproximateRadiusOnBarbell(t *testing.T) {
+	// Barbell: the center of the bridge minimizes eccentricity.
+	g := graph.Barbell(6, 8)
+	res, err := Approximate(g, RadiusMode, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := g.Radius()
+	if res.Estimate < float64(truth) {
+		t.Fatalf("radius estimate %f below %d", res.Estimate, truth)
+	}
+	eps := res.Params.Eps.Float()
+	if res.Estimate > (1+eps)*(1+eps)*float64(truth)+1e-9 {
+		t.Fatalf("radius estimate %f above bound (truth %d)", res.Estimate, truth)
+	}
+}
+
+func TestApproximateWithParamsValidation(t *testing.T) {
+	g := graph.Path(6)
+	p, err := ParamsFor(6, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApproximateWithParams(graph.New(1), DiameterMode, p, Options{}); err == nil {
+		t.Fatal("single-node graph accepted")
+	}
+	disc := graph.New(4)
+	disc.MustAddEdge(0, 1, 1)
+	if _, err := ApproximateWithParams(disc, DiameterMode, p, Options{}); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+	if _, err := ApproximateWithParams(g, DiameterMode, p, Options{Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qcongest/internal/core"
+	"qcongest/internal/dist"
+)
+
+// AblationPoint is one run of the core algorithm with a perturbed
+// parameter choice.
+type AblationPoint struct {
+	Label      string
+	Params     core.Params
+	Rounds     int64
+	Ratio      float64 // estimate / truth
+	Undershoot bool    // search landed outside the good mass
+}
+
+// AblationReport groups the sweep for one knob.
+type AblationReport struct {
+	Knob   string
+	Points []AblationPoint
+}
+
+// ablate runs the algorithm on one workload per parameter variant.
+func ablate(knob string, n int, variants []core.Params, labels []string, seed int64) (AblationReport, error) {
+	rep := AblationReport{Knob: knob}
+	rng := rand.New(rand.NewSource(seed))
+	g := workload(n, 0, 12, rng)
+	truth := g.Diameter()
+	for i, p := range variants {
+		res, err := core.ApproximateWithParams(g, core.DiameterMode, p, core.Options{Seed: seed + int64(i)})
+		if err != nil {
+			return rep, fmt.Errorf("%s variant %s: %w", knob, labels[i], err)
+		}
+		rep.Points = append(rep.Points, AblationPoint{
+			Label:      labels[i],
+			Params:     p,
+			Rounds:     res.Rounds,
+			Ratio:      res.Estimate / float64(truth),
+			Undershoot: res.Estimate < float64(truth),
+		})
+	}
+	return rep, nil
+}
+
+// baseParams computes the Eq. (1) defaults for the standard workload.
+func baseParams(n int, seed int64) (core.Params, error) {
+	rng := rand.New(rand.NewSource(seed))
+	g := workload(n, 0, 12, rng)
+	return core.ParamsFor(g.N(), g.UnweightedDiameter(), g.MaxWeight())
+}
+
+// AblateR sweeps the sampling rate r around the paper's n^(2/5)·D^(-1/5)
+// choice. Smaller r shrinks the skeletons (cheaper inner searches, fewer
+// good indices — more undershoot risk); larger r inflates ℓ's cost term
+// n/(ε·r) more slowly but pays r·k in embedding.
+func AblateR(n int, factors []float64, seed int64) (AblationReport, error) {
+	base, err := baseParams(n, seed)
+	if err != nil {
+		return AblationReport{}, err
+	}
+	var variants []core.Params
+	var labels []string
+	for _, f := range factors {
+		p := base
+		p.R = max(1, int(float64(base.R)*f))
+		p.L = max(1, base.L*base.R/p.R) // keep ℓ·r = n·log n invariant
+		variants = append(variants, p)
+		labels = append(labels, fmt.Sprintf("r=%d (×%.2g)", p.R, f))
+	}
+	return ablate("r", n, variants, labels, seed)
+}
+
+// AblateK sweeps the shortcut parameter k around ⌈√D⌉. Larger k means
+// denser shortcut graphs (larger embeddings, shorter overlay hop bounds).
+func AblateK(n int, ks []int, seed int64) (AblationReport, error) {
+	base, err := baseParams(n, seed)
+	if err != nil {
+		return AblationReport{}, err
+	}
+	var variants []core.Params
+	var labels []string
+	for _, k := range ks {
+		p := base
+		p.K = max(1, k)
+		variants = append(variants, p)
+		labels = append(labels, fmt.Sprintf("k=%d", p.K))
+	}
+	return ablate("k", n, variants, labels, seed)
+}
+
+// AblateEps sweeps ε = 1/T around 1/log n. Coarser ε loosens the
+// approximation bound (1+ε)² and shrinks every (1/ε)-proportional round
+// term.
+func AblateEps(n int, ts []int64, seed int64) (AblationReport, error) {
+	base, err := baseParams(n, seed)
+	if err != nil {
+		return AblationReport{}, err
+	}
+	var variants []core.Params
+	var labels []string
+	for _, t := range ts {
+		p := base
+		if t < 1 {
+			t = 1
+		}
+		p.Eps = dist.Eps{T: t}
+		variants = append(variants, p)
+		labels = append(labels, fmt.Sprintf("ε=1/%d", t))
+	}
+	return ablate("eps", n, variants, labels, seed)
+}

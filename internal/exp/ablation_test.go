@@ -1,0 +1,56 @@
+package exp
+
+import "testing"
+
+func TestAblateR(t *testing.T) {
+	rep, err := AblateR(40, []float64{0.5, 1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 3 {
+		t.Fatalf("got %d points", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.Rounds <= 0 {
+			t.Fatalf("variant %s: no rounds", p.Label)
+		}
+		if p.Ratio < 0.5 || p.Ratio > 2 {
+			t.Fatalf("variant %s: implausible ratio %f", p.Label, p.Ratio)
+		}
+	}
+}
+
+func TestAblateKMonotoneEmbedCost(t *testing.T) {
+	rep, err := AblateK(40, []int{1, 2, 4, 8}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Points {
+		if p.Params.K < 1 {
+			t.Fatalf("bad k in %+v", p.Params)
+		}
+		if p.Rounds <= 0 {
+			t.Fatal("no rounds")
+		}
+	}
+}
+
+func TestAblateEpsQualityTradeoff(t *testing.T) {
+	rep, err := AblateEps(40, []int64{1, 3, 6, 12}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coarser ε (T=1, ε=1) must still be within its own (1+ε)² = 4 bound.
+	for _, p := range rep.Points {
+		bound := (1 + p.Params.Eps.Float()) * (1 + p.Params.Eps.Float())
+		if p.Ratio > bound+1e-9 {
+			t.Fatalf("variant %s: ratio %f above its own (1+ε)² = %f", p.Label, p.Ratio, bound)
+		}
+	}
+	// Finer ε should never be cheaper than the coarsest (its 1/ε round
+	// terms strictly grow).
+	if rep.Points[0].Rounds > rep.Points[len(rep.Points)-1].Rounds {
+		t.Logf("note: ε=1 rounds %d vs finest %d (search randomness can flip small cases)",
+			rep.Points[0].Rounds, rep.Points[len(rep.Points)-1].Rounds)
+	}
+}

@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"qcongest/internal/core"
+)
+
+func TestFitLogLogExact(t *testing.T) {
+	// y = 3·x² should fit slope 2 exactly.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	fit := FitLogLog(xs, ys)
+	if math.Abs(fit.Slope-2) > 1e-9 {
+		t.Fatalf("slope = %f, want 2", fit.Slope)
+	}
+	if fit.R2 < 0.999 {
+		t.Fatalf("R² = %f", fit.R2)
+	}
+}
+
+func TestFitLogLogDegenerate(t *testing.T) {
+	if f := FitLogLog([]float64{1}, []float64{1}); !math.IsNaN(f.Slope) {
+		t.Fatal("single point should not fit")
+	}
+	if f := FitLogLog([]float64{2, 2}, []float64{1, 5}); !math.IsNaN(f.Slope) {
+		t.Fatal("zero x-variance should not fit")
+	}
+}
+
+func TestScalingInNSmall(t *testing.T) {
+	pts, fit, err := ScalingInN([]int{32, 64, 128}, 6, core.DiameterMode, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Rounds <= 0 || p.Theorem <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+	// Rounds must grow with n; the slope should be positive and sublinear
+	// plus polylog wiggle (asserted loosely at these tiny sizes).
+	if fit.Slope <= 0 || fit.Slope > 2.0 {
+		t.Fatalf("implausible n-slope %f", fit.Slope)
+	}
+}
+
+func TestQualitySmall(t *testing.T) {
+	rep, err := Quality(3, 40, core.DiameterMode, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WorstRatio > rep.EpsBound+1e-9 {
+		t.Fatalf("worst ratio %f above (1+ε)² = %f", rep.WorstRatio, rep.EpsBound)
+	}
+	if rep.Undershoots > 1 {
+		t.Fatalf("%d/3 undershoots", rep.Undershoots)
+	}
+}
+
+func TestMeasuredTable1Small(t *testing.T) {
+	entries, err := MeasuredTable1(36, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("got %d entries, want 6", len(entries))
+	}
+	for _, e := range entries {
+		if e.Measured <= 0 || e.Analytic <= 0 {
+			t.Fatalf("bad entry %+v", e)
+		}
+	}
+}
+
+func TestFigure1Suite(t *testing.T) {
+	reps := Figure1Suite([]int{2, 4}, 1)
+	for _, r := range reps {
+		if r.Err != nil {
+			t.Fatalf("h=%d: %v", r.H, r.Err)
+		}
+	}
+}
+
+func TestGapExperiments(t *testing.T) {
+	for _, radius := range []bool{false, true} {
+		reps, err := GapExperiment(2, radius, 4, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range reps {
+			if !r.Satisfied {
+				t.Fatalf("radius=%v trial %d: %v", radius, i, r)
+			}
+			if r.FValue != (i%2 == 0) {
+				t.Fatalf("radius=%v trial %d: forcing failed", radius, i)
+			}
+		}
+	}
+}
+
+func TestTable2Experiment(t *testing.T) {
+	vio, checked, err := Table2Experiment(2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vio != 0 || checked != 3 {
+		t.Fatalf("violations=%d checked=%d", vio, checked)
+	}
+}
+
+func TestSimulationExperiment(t *testing.T) {
+	rep, err := SimulationExperiment(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.WithinLemmaBounds {
+		t.Fatalf("lemma bounds violated: %v", rep)
+	}
+}
+
+func TestReductionExperiment(t *testing.T) {
+	reps, err := ReductionExperiment(2, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reps {
+		if !r.Outcome.Correct {
+			t.Fatalf("reduction failed: %+v", r)
+		}
+	}
+}
+
+func TestFormulaExperiment(t *testing.T) {
+	rep, err := FormulaExperiment(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FReadOnce || !rep.FpReadOnce || !rep.VEROk {
+		t.Fatalf("formula machinery broken: %+v", rep)
+	}
+	if rep.FSize != 8*2 {
+		t.Fatalf("F size %d, want 16", rep.FSize)
+	}
+}
+
+func TestIntsDedup(t *testing.T) {
+	got := Ints([]int{4, 1, 4, 2, 1})
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qcongest/internal/congest"
+	"qcongest/internal/dist"
+	"qcongest/internal/gadget"
+	"qcongest/internal/server"
+)
+
+// GadgetInputs draws lower-bound inputs for the Eq. (2) parameters of h.
+func GadgetInputs(h int, force bool, seed int64) (*gadget.Input, *gadget.Input, error) {
+	s, l, err := gadget.EqTwoParams(h)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x, y := gadget.RandomInput(1<<uint(s), l, force, func() bool { return rng.Intn(2) == 0 }, rng.Intn)
+	return x, y, nil
+}
+
+// Fig1Report summarizes the E6 structural experiment.
+type Fig1Report struct {
+	H         int
+	Structure gadget.StructureReport
+	Err       error
+}
+
+// Figure1Suite builds the base construction for a range of h and checks
+// the structural invariants (E6).
+func Figure1Suite(hs []int, seed int64) []Fig1Report {
+	var out []Fig1Report
+	for _, h := range hs {
+		rep := Fig1Report{H: h}
+		x, y, err := GadgetInputs(h, true, seed+int64(h))
+		if err != nil {
+			rep.Err = err
+			out = append(out, rep)
+			continue
+		}
+		c, err := gadget.BuildDiameter(h, x, y, 3, 5)
+		if err != nil {
+			rep.Err = err
+			out = append(out, rep)
+			continue
+		}
+		rep.Structure, rep.Err = c.CheckStructure()
+		out = append(out, rep)
+	}
+	return out
+}
+
+// GapExperiment runs E7 (diameter, Lemma 4.4) or E9 (radius, Lemma 4.9)
+// over several random inputs of both F-values and returns the reports.
+func GapExperiment(h int, radius bool, trials int, seed int64) ([]gadget.GapReport, error) {
+	alpha, beta, err := gadget.TheoremWeights(h)
+	if err != nil {
+		return nil, err
+	}
+	var out []gadget.GapReport
+	for trial := 0; trial < trials; trial++ {
+		force := trial%2 == 0
+		var x, y *gadget.Input
+		if radius {
+			x, y, err = radiusInputs(h, force, seed+int64(trial))
+		} else {
+			x, y, err = GadgetInputs(h, force, seed+int64(trial))
+		}
+		if err != nil {
+			return nil, err
+		}
+		var c *gadget.Construction
+		if radius {
+			c, err = gadget.BuildRadius(h, x, y, alpha, beta)
+		} else {
+			c, err = gadget.BuildDiameter(h, x, y, alpha, beta)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if radius {
+			out = append(out, c.VerifyLemma49(x, y))
+		} else {
+			out = append(out, c.VerifyLemma44(x, y))
+		}
+	}
+	return out, nil
+}
+
+// radiusInputs forces F' rather than F.
+func radiusInputs(h int, force bool, seed int64) (*gadget.Input, *gadget.Input, error) {
+	s, l, err := gadget.EqTwoParams(h)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x := gadget.NewInput(1<<uint(s), l)
+	y := gadget.NewInput(1<<uint(s), l)
+	for i := 0; i < x.Rows; i++ {
+		for j := 0; j < x.Cols; j++ {
+			x.Set(i, j, rng.Intn(2) == 0)
+			y.Set(i, j, rng.Intn(2) == 0)
+			if !force && x.Get(i, j) && y.Get(i, j) {
+				y.Set(i, j, false)
+			}
+		}
+	}
+	if force {
+		x.Set(0, 0, true)
+		y.Set(0, 0, true)
+	}
+	return x, y, nil
+}
+
+// Table2Experiment runs E8: the contracted-graph distance table.
+func Table2Experiment(h int, trials int, seed int64) (violations int, checked int, err error) {
+	alpha, beta, err := gadget.TheoremWeights(h)
+	if err != nil {
+		return 0, 0, err
+	}
+	for trial := 0; trial < trials; trial++ {
+		x, y, err := GadgetInputs(h, trial%2 == 0, seed+int64(trial))
+		if err != nil {
+			return violations, checked, err
+		}
+		c, err := gadget.BuildDiameter(h, x, y, alpha, beta)
+		if err != nil {
+			return violations, checked, err
+		}
+		violations += len(c.CheckTable2(x, y))
+		checked++
+	}
+	return violations, checked, nil
+}
+
+// SimulationExperiment runs E10: a real distributed algorithm on the
+// gadget under the Lemma 4.1 ownership schedule.
+func SimulationExperiment(h int, seed int64) (server.Report, error) {
+	x, y, err := GadgetInputs(h, true, seed)
+	if err != nil {
+		return server.Report{}, err
+	}
+	alpha, beta, err := gadget.TheoremWeights(h)
+	if err != nil {
+		return server.Report{}, err
+	}
+	c, err := gadget.BuildDiameter(h, x, y, alpha, beta)
+	if err != nil {
+		return server.Report{}, err
+	}
+	o := server.NewOwnership(c)
+	budget := o.MaxRounds() - 1
+	// Root the flood on Alice's side: path traffic then chases the
+	// ownership frontier without ever crossing it (the lemma's schedule is
+	// built for exactly that), while tree-climbing traffic crosses into
+	// the server's region and is charged — at most 2h messages per round.
+	root := c.A[0]
+	return server.Simulate(c, func(int) congest.Proc {
+		return &dist.BFSTreeProc{Root: root, Budget: budget}
+	}, congest.Options{MaxRounds: budget + 2, Seed: seed})
+}
+
+// ReductionReport is one E11 end-to-end reduction outcome.
+type ReductionReport struct {
+	H        int
+	Radius   bool
+	Outcome  server.ReductionOutcome
+	LowerBnd float64
+}
+
+// ReductionExperiment runs E11 for both metrics over several inputs.
+func ReductionExperiment(h, trials int, seed int64) ([]ReductionReport, error) {
+	alpha, beta, err := gadget.TheoremWeights(h)
+	if err != nil {
+		return nil, err
+	}
+	var out []ReductionReport
+	for trial := 0; trial < trials; trial++ {
+		force := trial%2 == 0
+
+		x, y, err := GadgetInputs(h, force, seed+int64(trial))
+		if err != nil {
+			return nil, err
+		}
+		c, err := gadget.BuildDiameter(h, x, y, alpha, beta)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ReductionReport{
+			H: h, Outcome: server.DecideDiameter(c, x, y),
+			LowerBnd: server.LowerBoundRounds(c.G.N()),
+		})
+
+		xr, yr, err := radiusInputs(h, force, seed+int64(trial)+1000)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := gadget.BuildRadius(h, xr, yr, alpha, beta)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ReductionReport{
+			H: h, Radius: true, Outcome: server.DecideRadius(cr, xr, yr),
+			LowerBnd: server.LowerBoundRounds(cr.G.N()),
+		})
+	}
+	return out, nil
+}
+
+// FormulaReport summarizes E13.
+type FormulaReport struct {
+	H          int
+	FSize      int
+	FReadOnce  bool
+	FpReadOnce bool
+	VEROk      bool
+}
+
+// FormulaExperiment instantiates the Lemma 4.5-4.7 machinery (E13).
+func FormulaExperiment(h int) (FormulaReport, error) {
+	s, l, err := gadget.EqTwoParams(h)
+	if err != nil {
+		return FormulaReport{}, err
+	}
+	rows := 1 << uint(s)
+	f := gadget.FFormula(rows, l)
+	fp := gadget.FPrimeFormula(rows, l)
+	rep := FormulaReport{
+		H: h, FSize: f.Size(),
+		FReadOnce:  f.ReadOnce(),
+		FpReadOnce: fp.ReadOnce(),
+		VEROk:      true,
+	}
+	for x := uint8(0); x < 4; x++ {
+		for y := uint8(0); y < 4; y++ {
+			if gadget.GDT(gadget.VEREncodeAlice(x), gadget.VEREncodeBob(y)) != gadget.VER(x, y) {
+				rep.VEROk = false
+			}
+		}
+	}
+	if rep.FSize != rows*l {
+		return rep, fmt.Errorf("exp: F size %d != 2^s·ℓ = %d", rep.FSize, rows*l)
+	}
+	return rep, nil
+}

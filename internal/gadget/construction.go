@@ -1,0 +1,253 @@
+package gadget
+
+import (
+	"fmt"
+
+	"qcongest/internal/graph"
+)
+
+// Construction is an instantiated lower-bound network: the Figure 1 base
+// (binary tree of height h plus m paths of length 2^h − 1) with the
+// input-dependent Alice/Bob sides of Figure 2 (diameter) or Figure 4
+// (radius). Node identities for every named vertex of the paper are
+// retained so experiments can reference them directly.
+type Construction struct {
+	G *graph.Graph
+
+	// Parameters (Eq. 2): h even, s = 3h/2, ℓ = 2^(s−h).
+	H, S, L int
+	Alpha   int64
+	Beta    int64
+
+	// Figure 1 base. Tree[i][j] is t_{i+0,j+1} (depth i, 0-based column);
+	// Paths[i][j] is p_{i+1,j+1}.
+	Tree  [][]int
+	Paths [][]int
+
+	// Alice side: A[i] is a_{i+1}; A01[i][c] is a^c_{i+1}; AStar[j] is
+	// a*_{j+1}. AZero is the radius hub a_0 (−1 for the diameter gadget).
+	A     []int
+	A01   [][2]int
+	AStar []int
+	AZero int
+
+	// Bob side, mirroring Alice.
+	B     []int
+	B01   [][2]int
+	BStar []int
+
+	// Partition for the Server-model simulation.
+	VS, VA, VB []int
+}
+
+// EqTwoParams returns the Eq. (2) parameter triple for an even h:
+// s = 3h/2 and ℓ = 2^(s−h) = 2^(h/2).
+func EqTwoParams(h int) (s, l int, err error) {
+	if h < 2 || h%2 != 0 {
+		return 0, 0, fmt.Errorf("gadget: h must be even and >= 2, got %d", h)
+	}
+	s = 3 * h / 2
+	l = 1 << uint(s-h)
+	return s, l, nil
+}
+
+// NodeCount returns the paper's closed-form node count
+// (2^(h+1) − 1) + (2s + ℓ)(2^h + 2) + 2·2^s for the diameter gadget.
+func NodeCount(h int) (int, error) {
+	s, l, err := EqTwoParams(h)
+	if err != nil {
+		return 0, err
+	}
+	return (1<<uint(h+1) - 1) + (2*s+l)*(1<<uint(h)+2) + 2*(1<<uint(s)), nil
+}
+
+// BuildDiameter constructs the Figure 2 weighted network for inputs
+// x, y ∈ {0,1}^(2^s × ℓ) with weights α < β. Input dimensions must be
+// 2^s rows by ℓ columns for the Eq. (2) parameters of h.
+func BuildDiameter(h int, x, y *Input, alpha, beta int64) (*Construction, error) {
+	return build(h, x, y, alpha, beta, false)
+}
+
+// BuildRadius constructs the Figure 4 network: the diameter gadget plus
+// the hub a_0 joined to every a_i by weight-2α edges.
+func BuildRadius(h int, x, y *Input, alpha, beta int64) (*Construction, error) {
+	return build(h, x, y, alpha, beta, true)
+}
+
+func build(h int, x, y *Input, alpha, beta int64, radius bool) (*Construction, error) {
+	s, l, err := EqTwoParams(h)
+	if err != nil {
+		return nil, err
+	}
+	if alpha < 1 || beta <= alpha {
+		return nil, fmt.Errorf("gadget: need 1 <= α < β, got α=%d β=%d", alpha, beta)
+	}
+	rows := 1 << uint(s)
+	for name, in := range map[string]*Input{"x": x, "y": y} {
+		if in == nil || in.Rows != rows || in.Cols != l {
+			return nil, fmt.Errorf("gadget: input %s must be %d x %d", name, rows, l)
+		}
+	}
+
+	width := 1 << uint(h) // 2^h: path length and leaf count
+	m := 2*s + l          // number of paths
+	n := (2*width - 1) + m*(width+2) + 2*rows
+	if radius {
+		n++
+	}
+	g := graph.New(n)
+	c := &Construction{G: g, H: h, S: s, L: l, Alpha: alpha, Beta: beta, AZero: -1}
+
+	next := 0
+	alloc := func() int { id := next; next++; return id }
+
+	// Binary tree: Tree[i] has 2^i nodes.
+	c.Tree = make([][]int, h+1)
+	for i := 0; i <= h; i++ {
+		c.Tree[i] = make([]int, 1<<uint(i))
+		for j := range c.Tree[i] {
+			c.Tree[i][j] = alloc()
+		}
+	}
+	for i := 1; i <= h; i++ {
+		for j, id := range c.Tree[i] {
+			g.MustAddEdge(id, c.Tree[i-1][j/2], 1)
+		}
+	}
+
+	// Paths: m paths of 2^h nodes (length 2^h − 1), plus leaf attachments
+	// of weight α.
+	c.Paths = make([][]int, m)
+	for i := 0; i < m; i++ {
+		c.Paths[i] = make([]int, width)
+		for j := range c.Paths[i] {
+			c.Paths[i][j] = alloc()
+			if j > 0 {
+				g.MustAddEdge(c.Paths[i][j], c.Paths[i][j-1], 1)
+			}
+			g.MustAddEdge(c.Tree[h][j], c.Paths[i][j], alpha)
+		}
+	}
+
+	// Alice side.
+	c.A = make([]int, rows)
+	for i := range c.A {
+		c.A[i] = alloc()
+	}
+	c.A01 = make([][2]int, s)
+	for i := range c.A01 {
+		c.A01[i][0] = alloc()
+		c.A01[i][1] = alloc()
+	}
+	c.AStar = make([]int, l)
+	for j := range c.AStar {
+		c.AStar[j] = alloc()
+	}
+
+	// Bob side.
+	c.B = make([]int, rows)
+	for i := range c.B {
+		c.B[i] = alloc()
+	}
+	c.B01 = make([][2]int, s)
+	for i := range c.B01 {
+		c.B01[i][0] = alloc()
+		c.B01[i][1] = alloc()
+	}
+	c.BStar = make([]int, l)
+	for j := range c.BStar {
+		c.BStar[j] = alloc()
+	}
+
+	// E': weight-1 attachments of selector and star nodes to path ends
+	// ("including the endpoints in VA and VB" — §4.2 weight rules).
+	for i := 0; i < s; i++ {
+		g.MustAddEdge(c.A01[i][0], c.Paths[2*i][0], 1)
+		g.MustAddEdge(c.B01[i][1], c.Paths[2*i][width-1], 1)
+		g.MustAddEdge(c.A01[i][1], c.Paths[2*i+1][0], 1)
+		g.MustAddEdge(c.B01[i][0], c.Paths[2*i+1][width-1], 1)
+	}
+	for j := 0; j < l; j++ {
+		g.MustAddEdge(c.AStar[j], c.Paths[2*s+j][0], 1)
+		g.MustAddEdge(c.BStar[j], c.Paths[2*s+j][width-1], 1)
+	}
+
+	// EA / EB: selector edges a_i — a^{bin(i,j)}_j of weight α, star edges
+	// of weight α or β by the inputs, and the α-cliques.
+	for i := 0; i < rows; i++ {
+		for j := 0; j < s; j++ {
+			bit := (i >> uint(j)) & 1
+			g.MustAddEdge(c.A[i], c.A01[j][bit], alpha)
+			g.MustAddEdge(c.B[i], c.B01[j][bit], alpha)
+		}
+		for j := 0; j < l; j++ {
+			wx, wy := beta, beta
+			if x.Get(i, j) {
+				wx = alpha
+			}
+			if y.Get(i, j) {
+				wy = alpha
+			}
+			g.MustAddEdge(c.A[i], c.AStar[j], wx)
+			g.MustAddEdge(c.B[i], c.BStar[j], wy)
+		}
+		for k := i + 1; k < rows; k++ {
+			g.MustAddEdge(c.A[i], c.A[k], alpha)
+			g.MustAddEdge(c.B[i], c.B[k], alpha)
+		}
+	}
+
+	if radius {
+		c.AZero = alloc()
+		for i := 0; i < rows; i++ {
+			g.MustAddEdge(c.AZero, c.A[i], 2*alpha)
+		}
+	}
+	if next != n {
+		return nil, fmt.Errorf("gadget: allocated %d nodes, expected %d", next, n)
+	}
+
+	// Partition.
+	for i := 0; i <= h; i++ {
+		c.VS = append(c.VS, c.Tree[i]...)
+	}
+	for i := 0; i < m; i++ {
+		c.VS = append(c.VS, c.Paths[i]...)
+	}
+	c.VA = append(c.VA, c.A...)
+	for i := range c.A01 {
+		c.VA = append(c.VA, c.A01[i][0], c.A01[i][1])
+	}
+	c.VA = append(c.VA, c.AStar...)
+	if c.AZero >= 0 {
+		c.VA = append(c.VA, c.AZero)
+	}
+	c.VB = append(c.VB, c.B...)
+	for i := range c.B01 {
+		c.VB = append(c.VB, c.B01[i][0], c.B01[i][1])
+	}
+	c.VB = append(c.VB, c.BStar...)
+
+	return c, nil
+}
+
+// bin returns the j-th bit (0-based) of the 0-based row index i, matching
+// the paper's bin(i, j) on 1-based arguments.
+func bin(i, j int) int { return (i >> uint(j)) & 1 }
+
+// Contract returns the Figure 3 / Figure 4 view: the graph after
+// contracting all weight-1 edges.
+func (c *Construction) Contract() *graph.Contraction {
+	return c.G.ContractUnitEdges()
+}
+
+// TheoremWeights returns the α = n², β = 2n² choice used in the proofs of
+// Theorems 4.2 and 4.8.
+func TheoremWeights(h int) (alpha, beta int64, err error) {
+	n, err := NodeCount(h)
+	if err != nil {
+		return 0, 0, err
+	}
+	alpha = int64(n) * int64(n)
+	return alpha, 2 * alpha, nil
+}

@@ -1,0 +1,198 @@
+// Package gadget implements the paper's lower-bound constructions (§4):
+// the base network of Figure 1, the diameter gadget of Figure 2, the
+// radius gadget of Figure 4, the contracted views of Figure 3, the
+// read-once formulas F and F' with the VER/GDT gadget functions
+// (Lemmas 4.5-4.7), and exact verifiers for the diameter/radius gaps of
+// Lemmas 4.4/4.9 and the distance table (Table 2).
+package gadget
+
+import "fmt"
+
+// Op is a boolean gate type.
+type Op int
+
+// Gate operators.
+const (
+	OpVar Op = iota
+	OpNot
+	OpAnd
+	OpOr
+)
+
+// Formula is a boolean formula tree. A formula is read-once when every
+// variable index appears exactly once (ReadOnce verifies this), which is
+// the hypothesis of the approximate-degree bound (Lemma 4.6).
+type Formula struct {
+	Op       Op
+	Var      int // for OpVar
+	Children []*Formula
+}
+
+// Var returns a variable leaf.
+func Var(i int) *Formula { return &Formula{Op: OpVar, Var: i} }
+
+// Not negates a formula.
+func Not(f *Formula) *Formula { return &Formula{Op: OpNot, Children: []*Formula{f}} }
+
+// And conjoins formulas.
+func And(fs ...*Formula) *Formula { return &Formula{Op: OpAnd, Children: fs} }
+
+// Or disjoins formulas.
+func Or(fs ...*Formula) *Formula { return &Formula{Op: OpOr, Children: fs} }
+
+// Eval evaluates the formula on an assignment.
+func (f *Formula) Eval(assignment []bool) bool {
+	switch f.Op {
+	case OpVar:
+		return assignment[f.Var]
+	case OpNot:
+		return !f.Children[0].Eval(assignment)
+	case OpAnd:
+		for _, c := range f.Children {
+			if !c.Eval(assignment) {
+				return false
+			}
+		}
+		return true
+	case OpOr:
+		for _, c := range f.Children {
+			if c.Eval(assignment) {
+				return true
+			}
+		}
+		return false
+	}
+	panic(fmt.Sprintf("gadget: unknown op %d", f.Op))
+}
+
+// Vars collects the variable indices appearing in the formula, in
+// depth-first order (with repetitions, if any).
+func (f *Formula) Vars() []int {
+	var out []int
+	var walk func(*Formula)
+	walk = func(g *Formula) {
+		if g.Op == OpVar {
+			out = append(out, g.Var)
+			return
+		}
+		for _, c := range g.Children {
+			walk(c)
+		}
+	}
+	walk(f)
+	return out
+}
+
+// ReadOnce reports whether every variable appears exactly once.
+func (f *Formula) ReadOnce() bool {
+	seen := make(map[int]bool)
+	for _, v := range f.Vars() {
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Size returns the number of leaves.
+func (f *Formula) Size() int { return len(f.Vars()) }
+
+// Input is a lower-bound input x ∈ {0,1}^(2^s · ℓ), indexed x_{i,j} with
+// i ∈ [0, 2^s) and j ∈ [0, ℓ).
+type Input struct {
+	Rows int // 2^s
+	Cols int // ℓ
+	Bits []bool
+}
+
+// NewInput allocates an all-zero input.
+func NewInput(rows, cols int) *Input {
+	return &Input{Rows: rows, Cols: cols, Bits: make([]bool, rows*cols)}
+}
+
+// Get returns x_{i,j}.
+func (in *Input) Get(i, j int) bool { return in.Bits[i*in.Cols+j] }
+
+// Set assigns x_{i,j}.
+func (in *Input) Set(i, j int, v bool) { in.Bits[i*in.Cols+j] = v }
+
+// F computes F(x,y) = AND_i OR_j (x_{i,j} AND y_{i,j}) — the diameter
+// lower-bound function (§4.2).
+func F(x, y *Input) bool {
+	for i := 0; i < x.Rows; i++ {
+		rowHit := false
+		for j := 0; j < x.Cols; j++ {
+			if x.Get(i, j) && y.Get(i, j) {
+				rowHit = true
+				break
+			}
+		}
+		if !rowHit {
+			return false
+		}
+	}
+	return true
+}
+
+// FPrime computes F'(x,y) = OR_{i,j} (x_{i,j} AND y_{i,j}) — the radius
+// lower-bound function (§4.3).
+func FPrime(x, y *Input) bool {
+	for i := 0; i < x.Rows; i++ {
+		for j := 0; j < x.Cols; j++ {
+			if x.Get(i, j) && y.Get(i, j) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FFormula builds F as an explicit read-once formula over the variables
+// z_{i,j} = x_{i,j} AND y_{i,j} (indices i·cols+j), i.e. the outer shell
+// f = AND_rows ∘ OR_cols of the GDT composition in Lemma 4.7.
+func FFormula(rows, cols int) *Formula {
+	ands := make([]*Formula, rows)
+	for i := 0; i < rows; i++ {
+		ors := make([]*Formula, cols)
+		for j := 0; j < cols; j++ {
+			ors[j] = Var(i*cols + j)
+		}
+		ands[i] = Or(ors...)
+	}
+	return And(ands...)
+}
+
+// FPrimeFormula builds F' = OR over all pairs, the outer shell of
+// Lemma 4.10.
+func FPrimeFormula(rows, cols int) *Formula {
+	vars := make([]*Formula, rows*cols)
+	for i := range vars {
+		vars[i] = Var(i)
+	}
+	return Or(vars...)
+}
+
+// GDT is the gadget function OR_4 ∘ AND_2^4 of Lemma 4.7: inputs are 4-bit
+// strings, GDT(a, b) = OR_j (a_j AND b_j).
+func GDT(a, b uint8) bool { return a&b&0xF != 0 }
+
+// VER is the promise function of Lemma 4.5: VER(x, y) = 1 iff x + y ≡ 0 or
+// 1 (mod 4), for x, y ∈ {0, 1, 2, 3}.
+func VER(x, y uint8) bool {
+	m := (x + y) % 4
+	return m == 0 || m == 1
+}
+
+// VEREncodeAlice maps Alice's VER input x ∈ {0..3} to the 4-bit GDT string
+// with ones at positions (-x) mod 4 and (1-x) mod 4 — the promise set
+// {0011, 1001, 1100, 0110} of Lemma 4.7.
+func VEREncodeAlice(x uint8) uint8 {
+	p0 := (4 - x) % 4
+	p1 := (5 - x) % 4
+	return 1<<p0 | 1<<p1
+}
+
+// VEREncodeBob maps Bob's VER input y ∈ {0..3} to the one-hot 4-bit string
+// — the promise set {0001, 0010, 0100, 1000} of Lemma 4.7.
+func VEREncodeBob(y uint8) uint8 { return 1 << (y % 4) }

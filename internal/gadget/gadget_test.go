@@ -1,0 +1,400 @@
+package gadget
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormulaBasics(t *testing.T) {
+	f := And(Or(Var(0), Var(1)), Not(Var(2)))
+	tests := []struct {
+		in   []bool
+		want bool
+	}{
+		{[]bool{true, false, false}, true},
+		{[]bool{false, true, false}, true},
+		{[]bool{false, false, false}, false},
+		{[]bool{true, true, true}, false},
+	}
+	for _, tt := range tests {
+		if got := f.Eval(tt.in); got != tt.want {
+			t.Errorf("Eval(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+	if !f.ReadOnce() {
+		t.Error("formula should be read-once")
+	}
+	if f.Size() != 3 {
+		t.Errorf("size = %d, want 3", f.Size())
+	}
+	dup := And(Var(0), Var(0))
+	if dup.ReadOnce() {
+		t.Error("duplicate variable not detected")
+	}
+}
+
+func TestFMatchesFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const rows, cols = 4, 3
+	shell := FFormula(rows, cols)
+	if !shell.ReadOnce() {
+		t.Fatal("F formula must be read-once (Lemma 4.6 hypothesis)")
+	}
+	if shell.Size() != rows*cols {
+		t.Fatalf("F formula size %d, want %d", shell.Size(), rows*cols)
+	}
+	for trial := 0; trial < 200; trial++ {
+		x, y := NewInput(rows, cols), NewInput(rows, cols)
+		z := make([]bool, rows*cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				x.Set(i, j, rng.Intn(2) == 0)
+				y.Set(i, j, rng.Intn(2) == 0)
+				z[i*cols+j] = x.Get(i, j) && y.Get(i, j)
+			}
+		}
+		if F(x, y) != shell.Eval(z) {
+			t.Fatal("F disagrees with its read-once formula")
+		}
+		if FPrime(x, y) != FPrimeFormula(rows, cols).Eval(z) {
+			t.Fatal("F' disagrees with its read-once formula")
+		}
+	}
+}
+
+func TestVERPromiseEmbedsInGDT(t *testing.T) {
+	// Lemma 4.7: VER is the promise restriction of GDT under the stated
+	// encodings.
+	aliceSet := map[uint8]bool{0b0011: true, 0b1001: true, 0b1100: true, 0b0110: true}
+	bobSet := map[uint8]bool{0b0001: true, 0b0010: true, 0b0100: true, 0b1000: true}
+	for x := uint8(0); x < 4; x++ {
+		if !aliceSet[VEREncodeAlice(x)] {
+			t.Errorf("Alice encoding of %d = %04b outside the promise set", x, VEREncodeAlice(x))
+		}
+		for y := uint8(0); y < 4; y++ {
+			if !bobSet[VEREncodeBob(y)] {
+				t.Errorf("Bob encoding of %d outside the promise set", y)
+			}
+			if GDT(VEREncodeAlice(x), VEREncodeBob(y)) != VER(x, y) {
+				t.Errorf("GDT∘encode(%d,%d) != VER(%d,%d)", x, y, x, y)
+			}
+		}
+	}
+}
+
+func TestVERTruthTable(t *testing.T) {
+	// VER(x,y) = 1 iff x+y ≡ 0 or 1 (mod 4).
+	want := map[[2]uint8]bool{
+		{0, 0}: true, {0, 1}: true, {1, 0}: true, {2, 3}: true, {3, 2}: true,
+		{1, 1}: false, {2, 1}: false, {3, 3}: false, {1, 2}: false,
+	}
+	for k, v := range want {
+		if VER(k[0], k[1]) != v {
+			t.Errorf("VER(%d,%d) = %v, want %v", k[0], k[1], !v, v)
+		}
+	}
+}
+
+func TestEqTwoParams(t *testing.T) {
+	tests := []struct {
+		h       int
+		s, l    int
+		wantErr bool
+	}{
+		{2, 3, 2, false},
+		{4, 6, 4, false},
+		{6, 9, 8, false},
+		{3, 0, 0, true},
+		{0, 0, 0, true},
+	}
+	for _, tt := range tests {
+		s, l, err := EqTwoParams(tt.h)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("h=%d: err = %v", tt.h, err)
+			continue
+		}
+		if err == nil && (s != tt.s || l != tt.l) {
+			t.Errorf("h=%d: (s,ℓ) = (%d,%d), want (%d,%d)", tt.h, s, l, tt.s, tt.l)
+		}
+	}
+}
+
+func TestNodeCountFormula(t *testing.T) {
+	// h=2: (2^3-1) + (2·3+2)(2^2+2) + 2·2^3 = 7 + 48 + 16 = 71.
+	n, err := NodeCount(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 71 {
+		t.Fatalf("NodeCount(2) = %d, want 71", n)
+	}
+	// h=4: 31 + 16·18 + 128 = 447.
+	n, err = NodeCount(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 447 {
+		t.Fatalf("NodeCount(4) = %d, want 447", n)
+	}
+}
+
+func buildInputs(t *testing.T, h int, seed int64, force bool) (*Input, *Input) {
+	t.Helper()
+	s, l, err := EqTwoParams(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return RandomInput(1<<uint(s), l, force, func() bool { return rng.Intn(2) == 0 }, rng.Intn)
+}
+
+func TestBuildDiameterStructure(t *testing.T) {
+	for _, h := range []int{2, 4} {
+		x, y := buildInputs(t, h, int64(h), true)
+		c, err := BuildDiameter(h, x, y, 100, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.CheckStructure()
+		if err != nil {
+			t.Fatalf("h=%d: %v (report %+v)", h, err, rep)
+		}
+		if err := c.G.Validate(); err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	x, y := buildInputs(t, 2, 1, true)
+	if _, err := BuildDiameter(3, x, y, 1, 2); err == nil {
+		t.Error("odd h accepted")
+	}
+	if _, err := BuildDiameter(2, x, y, 5, 5); err == nil {
+		t.Error("α = β accepted")
+	}
+	if _, err := BuildDiameter(2, x, y, 0, 5); err == nil {
+		t.Error("α = 0 accepted")
+	}
+	bad := NewInput(3, 3)
+	if _, err := BuildDiameter(2, bad, y, 1, 2); err == nil {
+		t.Error("wrong input shape accepted")
+	}
+	if _, err := BuildDiameter(2, nil, y, 1, 2); err == nil {
+		t.Error("nil input accepted")
+	}
+}
+
+func TestRandomInputForcesValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		x, y := RandomInput(8, 2, true, func() bool { return rng.Intn(2) == 0 }, rng.Intn)
+		if !F(x, y) {
+			t.Fatal("forced F=1 produced F=0")
+		}
+		x, y = RandomInput(8, 2, false, func() bool { return rng.Intn(2) == 0 }, rng.Intn)
+		if F(x, y) {
+			t.Fatal("forced F=0 produced F=1")
+		}
+	}
+}
+
+func TestLemma44DiameterGap(t *testing.T) {
+	alpha, beta, err := TheoremWeights(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		force := seed%2 == 0
+		x, y := buildInputs(t, 2, seed, force)
+		c, err := BuildDiameter(2, x, y, alpha, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := c.VerifyLemma44(x, y)
+		if rep.FValue != force {
+			t.Fatalf("seed %d: F = %v, forced %v", seed, rep.FValue, force)
+		}
+		if !rep.Satisfied {
+			t.Fatalf("seed %d: Lemma 4.4 dichotomy violated: %v", seed, rep)
+		}
+	}
+}
+
+func TestLemma44DistinguishesF(t *testing.T) {
+	// With α=n², β=2n² the two cases are separated by a (3/2−ε) factor:
+	// F=1 gives D <= 2n²+n, F=0 gives D >= 3n² (Theorem 4.2's gap).
+	alpha, beta, err := TheoremWeights(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xYes, yYes := buildInputs(t, 2, 10, true)
+	cYes, err := BuildDiameter(2, xYes, yYes, alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dYes := cYes.G.Diameter()
+
+	xNo, yNo := buildInputs(t, 2, 11, false)
+	cNo, err := BuildDiameter(2, xNo, yNo, alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dNo := cNo.G.Diameter()
+
+	n := int64(cYes.G.N())
+	if dYes > 2*alpha+n {
+		t.Fatalf("F=1 diameter %d above max{2α,β}+n = %d", dYes, 2*alpha+n)
+	}
+	if dNo < 3*alpha {
+		t.Fatalf("F=0 diameter %d below min{α+β,3α} = %d", dNo, 3*alpha)
+	}
+	// A (3/2−ε)-approximation distinguishes the cases (Theorem 4.2 uses
+	// any constant ε ∈ (0, 1/2]; ε = 0.05 suffices at this gadget size).
+	if float64(dYes)*1.45 >= float64(dNo) {
+		t.Fatalf("gap too small: %d vs %d", dYes, dNo)
+	}
+}
+
+func TestLemma49RadiusGap(t *testing.T) {
+	alpha, beta, err := TheoremWeights(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		force := seed%2 == 0
+		s, l, _ := EqTwoParams(2)
+		rng := rand.New(rand.NewSource(seed + 100))
+		// For F' the force semantics differ: F'=1 needs any common 1;
+		// F'=0 needs none anywhere.
+		x := NewInput(1<<uint(s), l)
+		y := NewInput(1<<uint(s), l)
+		for i := 0; i < x.Rows; i++ {
+			for j := 0; j < x.Cols; j++ {
+				x.Set(i, j, rng.Intn(2) == 0)
+				y.Set(i, j, rng.Intn(2) == 0)
+				if !force && x.Get(i, j) && y.Get(i, j) {
+					y.Set(i, j, false)
+				}
+			}
+		}
+		if force {
+			x.Set(0, 0, true)
+			y.Set(0, 0, true)
+		}
+		c, err := BuildRadius(2, x, y, alpha, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := c.VerifyLemma49(x, y)
+		if rep.FValue != force {
+			t.Fatalf("seed %d: F' = %v, forced %v", seed, rep.FValue, force)
+		}
+		if !rep.Satisfied {
+			t.Fatalf("seed %d: Lemma 4.9 dichotomy violated: %v", seed, rep)
+		}
+	}
+}
+
+func TestRadiusGadgetHasHub(t *testing.T) {
+	x, y := buildInputs(t, 2, 5, true)
+	c, err := BuildRadius(2, x, y, 50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.AZero < 0 {
+		t.Fatal("radius gadget missing a_0")
+	}
+	if c.G.N() != 72 { // 71 + hub
+		t.Fatalf("radius gadget n = %d, want 72", c.G.N())
+	}
+	if c.G.Degree(c.AZero) != len(c.A) {
+		t.Fatalf("a_0 degree %d, want %d", c.G.Degree(c.AZero), len(c.A))
+	}
+	for _, a := range c.G.Neighbors(c.AZero) {
+		if a.W != 100 { // 2α
+			t.Fatalf("a_0 edge weight %d, want 2α = 100", a.W)
+		}
+	}
+}
+
+func TestTable2Holds(t *testing.T) {
+	alpha, beta, err := TheoremWeights(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		x, y := buildInputs(t, 2, seed+50, seed%2 == 0)
+		c, err := BuildDiameter(2, x, y, alpha, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vio := c.CheckTable2(x, y); len(vio) != 0 {
+			t.Fatalf("seed %d: %d Table 2 violations, first: %v", seed, len(vio), vio[0])
+		}
+	}
+}
+
+func TestContractionMatchesFigure3(t *testing.T) {
+	x, y := buildInputs(t, 2, 7, true)
+	c, err := BuildDiameter(2, x, y, 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	con := c.Contract()
+	// Figure 3 node classes: t, 2s selector supernodes, ℓ star supernodes,
+	// 2^s a-nodes, 2^s b-nodes → 1 + 2s + ℓ + 2·2^s.
+	want := 1 + 2*c.S + c.L + 2*(1<<uint(c.S))
+	if con.Graph.N() != want {
+		t.Fatalf("contracted n = %d, want %d", con.Graph.N(), want)
+	}
+	// The tree collapses to a single supernode.
+	root := con.Super[c.Tree[0][0]]
+	for i := range c.Tree {
+		for _, id := range c.Tree[i] {
+			if con.Super[id] != root {
+				t.Fatal("tree not fully contracted")
+			}
+		}
+	}
+	// Path 2i merges a^0_i with b^1_i (Figure 3's selector identification).
+	for i := 0; i < c.S; i++ {
+		if con.Super[c.A01[i][0]] != con.Super[c.B01[i][1]] {
+			t.Fatal("a^0_i and b^1_i not merged")
+		}
+		if con.Super[c.A01[i][1]] != con.Super[c.B01[i][0]] {
+			t.Fatal("a^1_i and b^0_i not merged")
+		}
+	}
+	// Star nodes merge with their Bob counterparts.
+	for j := 0; j < c.L; j++ {
+		if con.Super[c.AStar[j]] != con.Super[c.BStar[j]] {
+			t.Fatal("a*_j and b*_j not merged")
+		}
+	}
+	// Lemma 4.3 sandwich.
+	if _, _, _, _, ok := con.CheckSandwich(c.G); !ok {
+		t.Fatal("Lemma 4.3 sandwich violated on the gadget")
+	}
+}
+
+func TestPropertyGapDichotomy(t *testing.T) {
+	alpha, beta, err := TheoremWeights(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, force bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, l, _ := EqTwoParams(2)
+		x, y := RandomInput(1<<uint(s), l, force, func() bool { return rng.Intn(2) == 0 }, rng.Intn)
+		c, err := BuildDiameter(2, x, y, alpha, beta)
+		if err != nil {
+			return false
+		}
+		return c.VerifyLemma44(x, y).Satisfied
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+package gadget
+
+import "fmt"
+
+// GapReport is the outcome of an exact gap verification (Lemma 4.4 or 4.9).
+type GapReport struct {
+	FValue    bool  // F(x,y) (diameter) or F'(x,y) (radius)
+	Metric    int64 // exact D_{G,w} or R_{G,w}
+	YesBound  int64 // max{2α, β} + n: upper bound when the function is 1
+	NoBound   int64 // min{α+β, 3α}: lower bound when the function is 0
+	Satisfied bool
+}
+
+func (r GapReport) String() string {
+	return fmt.Sprintf("F=%v metric=%d yes<=%d no>=%d ok=%v", r.FValue, r.Metric, r.YesBound, r.NoBound, r.Satisfied)
+}
+
+// VerifyLemma44 computes the exact weighted diameter of the Figure 2
+// network and checks the Lemma 4.4 dichotomy.
+func (c *Construction) VerifyLemma44(x, y *Input) GapReport {
+	rep := GapReport{
+		FValue:   F(x, y),
+		Metric:   c.G.Diameter(),
+		YesBound: maxInt64(2*c.Alpha, c.Beta) + int64(c.G.N()),
+		NoBound:  minInt64(c.Alpha+c.Beta, 3*c.Alpha),
+	}
+	if rep.FValue {
+		rep.Satisfied = rep.Metric <= rep.YesBound
+	} else {
+		rep.Satisfied = rep.Metric >= rep.NoBound
+	}
+	return rep
+}
+
+// VerifyLemma49 computes the exact weighted radius of the Figure 4 network
+// and checks the Lemma 4.9 dichotomy.
+func (c *Construction) VerifyLemma49(x, y *Input) GapReport {
+	rep := GapReport{
+		FValue:   FPrime(x, y),
+		Metric:   c.G.Radius(),
+		YesBound: maxInt64(2*c.Alpha, c.Beta) + int64(c.G.N()),
+		NoBound:  minInt64(c.Alpha+c.Beta, 3*c.Alpha),
+	}
+	if rep.FValue {
+		rep.Satisfied = rep.Metric <= rep.YesBound
+	} else {
+		rep.Satisfied = rep.Metric >= rep.NoBound
+	}
+	return rep
+}
+
+// Table2Violation describes one failed row of Table 2.
+type Table2Violation struct {
+	Row  string
+	U, V int
+	Dist int64
+	Want int64
+}
+
+func (v Table2Violation) String() string {
+	return fmt.Sprintf("table2 %s: d(%d,%d) = %d > %d", v.Row, v.U, v.V, v.Dist, v.Want)
+}
+
+// CheckTable2 verifies every row of Table 2 on the contracted graph G'
+// (Figure 3): the upper bounds on distances between t, the routers
+// (selector and star supernodes), a_i, and b_i. It returns all violations
+// (nil means the table holds).
+//
+// The special pair (a_i, b_i) is checked against the input-dependent
+// dichotomy stated in Lemma 4.4's proof.
+func (c *Construction) CheckTable2(x, y *Input) []Table2Violation {
+	con := c.Contract()
+	gp := con.Graph
+	alpha := c.Alpha
+	sup := func(orig int) int { return con.Super[orig] }
+
+	t := sup(c.Tree[0][0])
+	var routers []int
+	for i := range c.A01 {
+		routers = append(routers, sup(c.A01[i][0]), sup(c.A01[i][1]))
+	}
+	for j := range c.AStar {
+		routers = append(routers, sup(c.AStar[j]))
+	}
+
+	var out []Table2Violation
+	check := func(row string, u, v int, distRow []int64, want int64) {
+		if d := distRow[v]; d > want {
+			out = append(out, Table2Violation{Row: row, U: u, V: v, Dist: d, Want: want})
+		}
+	}
+
+	fromT := gp.Dijkstra(t)
+	for _, r := range routers {
+		check("t-router", t, r, fromT, alpha)
+	}
+	for i := range c.A {
+		check("t-a", t, sup(c.A[i]), fromT, 2*alpha)
+		check("t-b", t, sup(c.B[i]), fromT, 2*alpha)
+	}
+
+	rows := len(c.A)
+	for i := 0; i < rows; i++ {
+		fromA := gp.Dijkstra(sup(c.A[i]))
+		fromB := gp.Dijkstra(sup(c.B[i]))
+		for j := 0; j < rows; j++ {
+			if j != i {
+				check("a-a", sup(c.A[i]), sup(c.A[j]), fromA, alpha)
+				check("b-b", sup(c.B[i]), sup(c.B[j]), fromB, alpha)
+				check("a-b(offdiag)", sup(c.A[i]), sup(c.B[j]), fromA, 2*alpha)
+			}
+		}
+		for j := range c.A01 {
+			same := bin(i, j)
+			check("a-selector(same)", sup(c.A[i]), sup(c.A01[j][same]), fromA, alpha)
+			check("a-selector(flip)", sup(c.A[i]), sup(c.A01[j][same^1]), fromA, 2*alpha)
+			// b_i attaches to b^{bin}_j, whose supernode is a^{bin⊕1}_j.
+			check("b-selector(same)", sup(c.B[i]), sup(c.A01[j][same^1]), fromB, alpha)
+			check("b-selector(flip)", sup(c.B[i]), sup(c.A01[j][same]), fromB, 2*alpha)
+		}
+		for j := range c.AStar {
+			check("a-star", sup(c.A[i]), sup(c.AStar[j]), fromA, c.Beta)
+			check("b-star", sup(c.B[i]), sup(c.AStar[j]), fromB, c.Beta)
+		}
+
+		// The input-dependent diagonal pair.
+		hit := false
+		for j := 0; j < x.Cols; j++ {
+			if x.Get(i, j) && y.Get(i, j) {
+				hit = true
+				break
+			}
+		}
+		d := fromA[sup(c.B[i])]
+		if hit && d > 2*alpha {
+			out = append(out, Table2Violation{Row: "a-b(diag,hit)", U: sup(c.A[i]), V: sup(c.B[i]), Dist: d, Want: 2 * alpha})
+		}
+		if !hit && d < minInt64(alpha+c.Beta, 3*alpha) {
+			out = append(out, Table2Violation{Row: "a-b(diag,miss)", U: sup(c.A[i]), V: sup(c.B[i]), Dist: d, Want: minInt64(alpha+c.Beta, 3*alpha)})
+		}
+	}
+
+	// router-router <= 2α via t.
+	for _, r1 := range routers {
+		from := gp.Dijkstra(r1)
+		for _, r2 := range routers {
+			if r1 != r2 {
+				check("router-router", r1, r2, from, 2*alpha)
+			}
+		}
+	}
+	return out
+}
+
+// StructureReport summarizes the Figure 1/2 structural invariants.
+type StructureReport struct {
+	N                  int
+	NFormula           int
+	UnweightedDiameter int64
+	H                  int
+	Connected          bool
+}
+
+// CheckStructure verifies the closed-form node count, connectivity, and
+// that the unweighted diameter is Θ(h) = Θ(log n) — the property that
+// makes the lower bound bite (Theorem 4.2 holds "even when D = Θ(log n)").
+func (c *Construction) CheckStructure() (StructureReport, error) {
+	want, err := NodeCount(c.H)
+	if err != nil {
+		return StructureReport{}, err
+	}
+	if c.AZero >= 0 {
+		want++
+	}
+	rep := StructureReport{
+		N:                  c.G.N(),
+		NFormula:           want,
+		UnweightedDiameter: c.G.UnweightedDiameter(),
+		H:                  c.H,
+		Connected:          c.G.Connected(),
+	}
+	if rep.N != rep.NFormula {
+		return rep, fmt.Errorf("gadget: node count %d != closed form %d", rep.N, rep.NFormula)
+	}
+	if !rep.Connected {
+		return rep, fmt.Errorf("gadget: construction is disconnected")
+	}
+	if rep.UnweightedDiameter < int64(c.H) || rep.UnweightedDiameter > int64(8*c.H+16) {
+		return rep, fmt.Errorf("gadget: unweighted diameter %d not Θ(h) for h=%d", rep.UnweightedDiameter, c.H)
+	}
+	return rep, nil
+}
+
+// RandomInput draws x, y with the requested value of F (diameter variant)
+// using the provided PRNG-like function for bits. forceValue selects
+// whether F(x,y) must be 1 or 0.
+func RandomInput(rows, cols int, forceValue bool, randBit func() bool, randInt func(int) int) (x, y *Input) {
+	x = NewInput(rows, cols)
+	y = NewInput(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			x.Set(i, j, randBit())
+			y.Set(i, j, randBit())
+		}
+	}
+	if forceValue {
+		// Ensure every row has a common 1.
+		for i := 0; i < rows; i++ {
+			j := randInt(cols)
+			x.Set(i, j, true)
+			y.Set(i, j, true)
+		}
+	} else {
+		// Kill one row entirely.
+		i := randInt(rows)
+		for j := 0; j < cols; j++ {
+			if randBit() {
+				x.Set(i, j, false)
+			} else {
+				y.Set(i, j, false)
+			}
+			if x.Get(i, j) && y.Get(i, j) {
+				x.Set(i, j, false)
+			}
+		}
+	}
+	return x, y
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

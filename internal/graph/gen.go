@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generators for the workloads used in the experiments. Every generator is
+// deterministic given its *rand.Rand, so experiments are reproducible from a
+// seed.
+
+// Path returns the path graph on n nodes with unit weights.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+// Cycle returns the cycle on n nodes (n >= 3) with unit weights.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs n >= 3, got %d", n))
+	}
+	g := Path(n)
+	g.MustAddEdge(n-1, 0, 1)
+	return g
+}
+
+// Star returns the star with center 0 and n-1 leaves, unit weights.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, i, 1)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n with unit weights.
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(i, j, 1)
+		}
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph with unit weights.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(at(r, c), at(r, c+1), 1)
+			}
+			if r+1 < rows {
+				g.MustAddEdge(at(r, c), at(r+1, c), 1)
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labeled tree on n nodes with unit
+// weights, built by attaching node i to a uniform predecessor.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(i, rng.Intn(i), 1)
+	}
+	return g
+}
+
+// RandomConnected returns a connected graph with n nodes and approximately m
+// edges: a random spanning tree plus m-(n-1) uniform extra edges (duplicates
+// are retried a bounded number of times, so the final count can be slightly
+// below m on dense requests). Weights are 1.
+func RandomConnected(n, m int, rng *rand.Rand) *Graph {
+	if m < n-1 {
+		panic(fmt.Sprintf("graph: m=%d below spanning-tree size %d", m, n-1))
+	}
+	g := RandomTree(n, rng)
+	type key struct{ u, v int }
+	have := make(map[key]bool, m)
+	for _, e := range g.Edges() {
+		have[key{e.U, e.V}] = true
+	}
+	extra := m - (n - 1)
+	for i := 0; i < extra; i++ {
+		placed := false
+		for try := 0; try < 32 && !placed; try++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if have[key{u, v}] {
+				continue
+			}
+			have[key{u, v}] = true
+			g.MustAddEdge(u, v, 1)
+			placed = true
+		}
+	}
+	return g
+}
+
+// RandomWeights returns a copy of g with each edge weight drawn uniformly
+// from [1, maxW].
+func RandomWeights(g *Graph, maxW int64, rng *rand.Rand) *Graph {
+	if maxW < 1 {
+		panic(fmt.Sprintf("graph: maxW=%d < 1", maxW))
+	}
+	out := New(g.N())
+	for _, e := range g.Edges() {
+		out.MustAddEdge(e.U, e.V, 1+rng.Int63n(maxW))
+	}
+	return out
+}
+
+// LowDiameterExpanderish returns a connected n-node graph whose unweighted
+// diameter is O(log n): a random tree of low depth (each node attaches to a
+// predecessor among the most recent window) plus extra random chords. This
+// is the "small D" workload family for Theorem 1.1 sweeps.
+func LowDiameterExpanderish(n int, avgDeg int, rng *rand.Rand) *Graph {
+	if avgDeg < 2 {
+		avgDeg = 2
+	}
+	g := New(n)
+	for i := 1; i < n; i++ {
+		// Attach near-uniformly to any predecessor: random recursive trees
+		// have O(log n) depth with high probability.
+		g.MustAddEdge(i, rng.Intn(i), 1)
+	}
+	extra := n * (avgDeg - 2) / 2
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.MustAddEdge(u, v, 1)
+		}
+	}
+	return g.Simplify()
+}
+
+// DiameterControlled returns a connected graph on ~n nodes whose unweighted
+// diameter is close to the requested d (d >= 2): a backbone path of d+1
+// nodes, with the remaining nodes attached in balanced bushy clusters along
+// the backbone so eccentricities stay within the backbone's. Used to sweep
+// the round complexity as a function of D at fixed n.
+func DiameterControlled(n int, d int, rng *rand.Rand) *Graph {
+	if d < 2 {
+		panic(fmt.Sprintf("graph: DiameterControlled needs d >= 2, got %d", d))
+	}
+	if d+1 > n {
+		panic(fmt.Sprintf("graph: DiameterControlled needs n >= d+1, got n=%d d=%d", n, d))
+	}
+	g := New(n)
+	for i := 0; i < d; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	// Attach remaining nodes to interior backbone positions so they do not
+	// extend the diameter: node v attaches to a backbone node at positions
+	// 1..d-1 and also to its neighbor on the backbone, keeping ecc bounded.
+	for v := d + 1; v < n; v++ {
+		pos := 1 + rng.Intn(d-1)
+		g.MustAddEdge(v, pos, 1)
+		g.MustAddEdge(v, pos+1, 1)
+	}
+	return g.Simplify()
+}
+
+// Barbell returns two k-cliques joined by a path of length bridgeLen (unit
+// weights). It is the classic high-diameter, high-density stress workload.
+func Barbell(k, bridgeLen int) *Graph {
+	if k < 1 || bridgeLen < 1 {
+		panic(fmt.Sprintf("graph: barbell needs k,bridgeLen >= 1, got %d,%d", k, bridgeLen))
+	}
+	n := 2*k + bridgeLen - 1
+	g := New(n)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.MustAddEdge(i, j, 1)
+			g.MustAddEdge(n-1-i, n-1-j, 1)
+		}
+	}
+	for i := k - 1; i < n-k; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	return g
+}

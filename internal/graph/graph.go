@@ -1,0 +1,226 @@
+// Package graph provides the weighted-graph substrate used throughout the
+// reproduction: adjacency structures, exact shortest-path algorithms,
+// eccentricity/diameter/radius computation, hop-bounded distances, the
+// unit-edge contraction of Lemma 4.3, and graph generators.
+//
+// All weights are positive integers (w : E -> N+), matching the paper's
+// model. Distances are int64 and the sentinel Inf marks unreachable pairs.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Inf is the distance sentinel for unreachable node pairs. It is small
+// enough that Inf+Inf does not overflow int64.
+const Inf int64 = 1 << 60
+
+// Arc is one directed half of an undirected weighted edge.
+type Arc struct {
+	To int   // endpoint
+	W  int64 // weight, >= 1
+}
+
+// Edge is an undirected weighted edge with U < V by convention.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
+// Graph is an undirected weighted graph on nodes 0..n-1. The zero value is
+// an empty graph with no nodes; use New to create a graph with n nodes.
+type Graph struct {
+	n     int
+	adj   [][]Arc
+	edges []Edge
+}
+
+// New returns an empty graph with n nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]Arc, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Neighbors returns the adjacency list of u. Callers must not modify the
+// returned slice.
+func (g *Graph) Neighbors(u int) []Arc { return g.adj[u] }
+
+// Edges returns all undirected edges. Callers must not modify the returned
+// slice.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// AddEdge adds the undirected edge {u, v} with weight w. It returns an error
+// for self loops, out-of-range endpoints, or non-positive weights. Parallel
+// edges are permitted (generators may produce them transiently); Simplify
+// collapses them keeping the minimum weight.
+func (g *Graph) AddEdge(u, v int, w int64) error {
+	switch {
+	case u < 0 || u >= g.n || v < 0 || v >= g.n:
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n)
+	case u == v:
+		return fmt.Errorf("graph: self loop at node %d", u)
+	case w < 1:
+		return fmt.Errorf("graph: edge {%d,%d} has non-positive weight %d", u, v, w)
+	}
+	g.adj[u] = append(g.adj[u], Arc{To: v, W: w})
+	g.adj[v] = append(g.adj[v], Arc{To: u, W: w})
+	if u > v {
+		u, v = v, u
+	}
+	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; intended for generators and
+// tests where the arguments are statically valid.
+func (g *Graph) MustAddEdge(u, v int, w int64) {
+	if err := g.AddEdge(u, v, w); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether an edge {u, v} exists and returns the minimum
+// weight among parallel copies.
+func (g *Graph) HasEdge(u, v int) (int64, bool) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return 0, false
+	}
+	best, found := int64(0), false
+	for _, a := range g.adj[u] {
+		if a.To == v && (!found || a.W < best) {
+			best, found = a.W, true
+		}
+	}
+	return best, found
+}
+
+// MaxWeight returns the maximum edge weight W = max_e w(e), or 0 for an
+// edgeless graph. The paper assumes every node initially knows W.
+func (g *Graph) MaxWeight() int64 {
+	var w int64
+	for _, e := range g.edges {
+		if e.W > w {
+			w = e.W
+		}
+	}
+	return w
+}
+
+// Simplify returns a copy of g with parallel edges collapsed to the single
+// minimum-weight edge. Node identities are preserved.
+func (g *Graph) Simplify() *Graph {
+	type key struct{ u, v int }
+	best := make(map[key]int64, len(g.edges))
+	for _, e := range g.edges {
+		k := key{e.U, e.V}
+		if w, ok := best[k]; !ok || e.W < w {
+			best[k] = e.W
+		}
+	}
+	keys := make([]key, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].u != keys[j].u {
+			return keys[i].u < keys[j].u
+		}
+		return keys[i].v < keys[j].v
+	})
+	out := New(g.n)
+	for _, k := range keys {
+		out.MustAddEdge(k.u, k.v, best[k])
+	}
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	out := New(g.n)
+	for _, e := range g.edges {
+		out.MustAddEdge(e.U, e.V, e.W)
+	}
+	return out
+}
+
+// Reweight returns a copy of g with every edge weight mapped through f.
+// It panics if f produces a non-positive weight.
+func (g *Graph) Reweight(f func(int64) int64) *Graph {
+	out := New(g.n)
+	for _, e := range g.edges {
+		out.MustAddEdge(e.U, e.V, f(e.W))
+	}
+	return out
+}
+
+// Unweighted returns a copy of g with all weights set to 1 (the w* of §2.1).
+func (g *Graph) Unweighted() *Graph {
+	return g.Reweight(func(int64) int64 { return 1 })
+}
+
+// Connected reports whether g is connected. The empty graph and the
+// single-node graph are connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.adj[u] {
+			if !seen[a.To] {
+				seen[a.To] = true
+				count++
+				stack = append(stack, a.To)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Validate checks structural invariants (adjacency symmetry, weight
+// positivity, edge-list consistency) and returns the first violation found.
+func (g *Graph) Validate() error {
+	deg := 0
+	for u := range g.adj {
+		deg += len(g.adj[u])
+		for _, a := range g.adj[u] {
+			if a.To < 0 || a.To >= g.n {
+				return fmt.Errorf("graph: node %d has arc to out-of-range node %d", u, a.To)
+			}
+			if a.W < 1 {
+				return fmt.Errorf("graph: arc %d->%d has weight %d < 1", u, a.To, a.W)
+			}
+		}
+	}
+	if deg != 2*len(g.edges) {
+		return fmt.Errorf("graph: degree sum %d != 2*|E| = %d", deg, 2*len(g.edges))
+	}
+	for _, e := range g.edges {
+		if e.U >= e.V {
+			return fmt.Errorf("graph: edge list entry {%d,%d} not normalized", e.U, e.V)
+		}
+	}
+	return nil
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d, W=%d)", g.n, len(g.edges), g.MaxWeight())
+}

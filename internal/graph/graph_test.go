@@ -1,0 +1,490 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("got n=%d m=%d, want 5, 0", g.N(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("empty graph invalid: %v", err)
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	tests := []struct {
+		name    string
+		u, v    int
+		w       int64
+		wantErr bool
+	}{
+		{"valid", 0, 1, 5, false},
+		{"self loop", 1, 1, 1, true},
+		{"zero weight", 0, 2, 0, true},
+		{"negative weight", 0, 2, -3, true},
+		{"u out of range", -1, 2, 1, true},
+		{"v out of range", 0, 3, 1, true},
+		{"parallel allowed", 0, 1, 7, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := g.AddEdge(tt.u, tt.v, tt.w)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("AddEdge(%d,%d,%d) err = %v, wantErr %v", tt.u, tt.v, tt.w, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestHasEdgeMinWeight(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1, 9)
+	g.MustAddEdge(0, 1, 4)
+	w, ok := g.HasEdge(0, 1)
+	if !ok || w != 4 {
+		t.Fatalf("HasEdge = (%d,%v), want (4,true)", w, ok)
+	}
+	if _, ok := g.HasEdge(1, 0); !ok {
+		t.Fatal("HasEdge not symmetric")
+	}
+	if _, ok := g.HasEdge(0, 5); ok {
+		t.Fatal("HasEdge accepted out-of-range node")
+	}
+}
+
+func TestSimplifyKeepsMin(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 9)
+	g.MustAddEdge(1, 0, 4)
+	g.MustAddEdge(1, 2, 2)
+	s := g.Simplify()
+	if s.M() != 2 {
+		t.Fatalf("simplified m=%d, want 2", s.M())
+	}
+	if w, _ := s.HasEdge(0, 1); w != 4 {
+		t.Fatalf("simplified weight %d, want 4", w)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := Path(4)
+	c := g.Clone()
+	c.MustAddEdge(0, 3, 2)
+	if g.M() == c.M() {
+		t.Fatal("clone shares edge storage with original")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{"empty", New(0), true},
+		{"single", New(1), true},
+		{"two isolated", New(2), false},
+		{"path", Path(6), true},
+		{"cycle", Cycle(5), true},
+		{"star", Star(7), true},
+		{"complete", Complete(4), true},
+		{"grid", Grid(3, 4), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.Connected(); got != tt.want {
+				t.Errorf("Connected() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMaxWeight(t *testing.T) {
+	g := New(3)
+	if g.MaxWeight() != 0 {
+		t.Fatal("edgeless graph should have MaxWeight 0")
+	}
+	g.MustAddEdge(0, 1, 3)
+	g.MustAddEdge(1, 2, 11)
+	if g.MaxWeight() != 11 {
+		t.Fatalf("MaxWeight = %d, want 11", g.MaxWeight())
+	}
+}
+
+func TestReweightAndUnweighted(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1, 5)
+	u := g.Unweighted()
+	if w, _ := u.HasEdge(0, 1); w != 1 {
+		t.Fatalf("unweighted edge weight %d, want 1", w)
+	}
+	doubled := g.Reweight(func(w int64) int64 { return 2 * w })
+	if w, _ := doubled.HasEdge(0, 1); w != 10 {
+		t.Fatalf("reweighted edge weight %d, want 10", w)
+	}
+}
+
+func TestDijkstraPath(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 2, 3)
+	g.MustAddEdge(0, 2, 10)
+	g.MustAddEdge(2, 3, 1)
+	d := g.Dijkstra(0)
+	want := []int64{0, 2, 5, 6}
+	for i, w := range want {
+		if d[i] != w {
+			t.Errorf("d[%d] = %d, want %d", i, d[i], w)
+		}
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	d := g.Dijkstra(0)
+	if d[2] != Inf {
+		t.Fatalf("unreachable distance = %d, want Inf", d[2])
+	}
+	if g.Diameter() != Inf {
+		t.Fatal("diameter of disconnected graph should be Inf")
+	}
+}
+
+func TestDijkstraHopsMinimal(t *testing.T) {
+	// Two shortest paths of weight 4 from 0 to 3: one with 2 hops (0-2-3),
+	// one with 4 hops. Hop distance must pick 2.
+	g := New(6)
+	g.MustAddEdge(0, 2, 2)
+	g.MustAddEdge(2, 3, 2)
+	g.MustAddEdge(0, 4, 1)
+	g.MustAddEdge(4, 5, 1)
+	g.MustAddEdge(5, 1, 1)
+	g.MustAddEdge(1, 3, 1)
+	dist, hops := g.DijkstraHops(0)
+	if dist[3] != 4 {
+		t.Fatalf("dist[3] = %d, want 4", dist[3])
+	}
+	if hops[3] != 2 {
+		t.Fatalf("hops[3] = %d, want 2 (minimum-hop shortest path)", hops[3])
+	}
+}
+
+func TestBFSMatchesUnweightedDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := RandomConnected(40, 80, rng)
+	for src := 0; src < g.N(); src += 7 {
+		bfs := g.BFS(src)
+		dij := g.Dijkstra(src) // unit weights
+		for v := range bfs {
+			if bfs[v] != dij[v] {
+				t.Fatalf("src=%d v=%d: BFS %d != Dijkstra %d", src, v, bfs[v], dij[v])
+			}
+		}
+	}
+}
+
+func TestBoundedHopDist(t *testing.T) {
+	// Path 0-1-2-3 with weight 1 each, plus heavy shortcut 0-3 of weight 10.
+	g := Path(4)
+	g.MustAddEdge(0, 3, 10)
+	tests := []struct {
+		l    int
+		want int64
+	}{
+		{0, Inf}, {1, 10}, {2, 10}, {3, 3}, {5, 3},
+	}
+	for _, tt := range tests {
+		got := g.BoundedHopDist(0, tt.l)[3]
+		if got != tt.want {
+			t.Errorf("d^%d(0,3) = %d, want %d", tt.l, got, tt.want)
+		}
+	}
+}
+
+func TestBoundedHopConvergesToDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := RandomWeights(RandomConnected(30, 70, rng), 50, rng)
+	d := g.Dijkstra(0)
+	bh := g.BoundedHopDist(0, g.N()) // n hops suffice for any shortest path
+	for v := range d {
+		if d[v] != bh[v] {
+			t.Fatalf("v=%d: Dijkstra %d != n-hop Bellman-Ford %d", v, d[v], bh[v])
+		}
+	}
+}
+
+func TestBoundedDistanceSSSP(t *testing.T) {
+	g := Path(5) // distances 0..4 from node 0
+	d := g.BoundedDistanceSSSP(0, 2)
+	want := []int64{0, 1, 2, Inf, Inf}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("d[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestMetricsPath(t *testing.T) {
+	g := Path(5)
+	if d := g.Diameter(); d != 4 {
+		t.Errorf("diameter = %d, want 4", d)
+	}
+	if r := g.Radius(); r != 2 {
+		t.Errorf("radius = %d, want 2", r)
+	}
+	if c, e := g.Center(); c != 2 || e != 2 {
+		t.Errorf("center = (%d,%d), want (2,2)", c, e)
+	}
+	if _, e := g.Peripheral(); e != 4 {
+		t.Errorf("peripheral ecc = %d, want 4", e)
+	}
+}
+
+func TestMetricsWeighted(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(1, 2, 7)
+	g.MustAddEdge(0, 2, 20)
+	if d := g.Diameter(); d != 12 {
+		t.Errorf("diameter = %d, want 12", d)
+	}
+	if r := g.Radius(); r != 7 {
+		t.Errorf("radius = %d, want 7", r)
+	}
+	if ud := g.UnweightedDiameter(); ud != 1 {
+		t.Errorf("unweighted diameter = %d, want 1 (triangle)", ud)
+	}
+}
+
+func TestUnweightedMetrics(t *testing.T) {
+	tests := []struct {
+		name   string
+		g      *Graph
+		diam   int64
+		radius int64
+	}{
+		{"path5", Path(5), 4, 2},
+		{"cycle6", Cycle(6), 3, 3},
+		{"star8", Star(8), 2, 1},
+		{"complete5", Complete(5), 1, 1},
+		{"grid3x4", Grid(3, 4), 5, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if d := tt.g.UnweightedDiameter(); d != tt.diam {
+				t.Errorf("diameter = %d, want %d", d, tt.diam)
+			}
+			if r := tt.g.UnweightedRadius(); r != tt.radius {
+				t.Errorf("radius = %d, want %d", r, tt.radius)
+			}
+		})
+	}
+}
+
+func TestHopDiameter(t *testing.T) {
+	// Heavy direct edges force shortest paths through many light hops.
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(0, 3, 100)
+	if h := g.HopDiameter(); h != 3 {
+		t.Fatalf("hop diameter = %d, want 3", h)
+	}
+	// Make the shortcut competitive: now the weight-3 path and the direct
+	// edge tie is impossible (direct edge weight 3 wins on hops).
+	g2 := New(4)
+	g2.MustAddEdge(0, 1, 1)
+	g2.MustAddEdge(1, 2, 1)
+	g2.MustAddEdge(2, 3, 1)
+	g2.MustAddEdge(0, 3, 3)
+	if h := g2.HopDiameter(); h != 2 {
+		t.Fatalf("hop diameter with tie = %d, want 2", h)
+	}
+}
+
+func TestContractUnitEdges(t *testing.T) {
+	// Triangle of unit edges plus a pendant heavy edge: contraction merges
+	// the triangle into one supernode.
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(2, 3, 9)
+	c := g.ContractUnitEdges()
+	if c.Graph.N() != 2 {
+		t.Fatalf("contracted n = %d, want 2", c.Graph.N())
+	}
+	if c.Graph.M() != 1 {
+		t.Fatalf("contracted m = %d, want 1", c.Graph.M())
+	}
+	if w, ok := c.Graph.HasEdge(c.Super[2], c.Super[3]); !ok || w != 9 {
+		t.Fatalf("contracted edge = (%d,%v), want (9,true)", w, ok)
+	}
+	if c.Super[0] != c.Super[1] || c.Super[1] != c.Super[2] {
+		t.Fatal("triangle nodes not merged")
+	}
+	if c.Super[3] == c.Super[0] {
+		t.Fatal("heavy-edge endpoint wrongly merged")
+	}
+	if got := len(c.Members[c.Super[0]]); got != 3 {
+		t.Fatalf("supernode member count = %d, want 3", got)
+	}
+}
+
+func TestContractParallelKeepsMin(t *testing.T) {
+	// Two nodes connected to a unit triangle by different weights: after
+	// contraction, the parallel edges collapse to the minimum.
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 0, 5)
+	g.MustAddEdge(2, 1, 3)
+	g.MustAddEdge(3, 0, 8)
+	c := g.ContractUnitEdges()
+	if w, _ := c.Graph.HasEdge(c.Super[2], c.Super[0]); w != 3 {
+		t.Fatalf("parallel contraction kept weight %d, want 3", w)
+	}
+}
+
+func TestContractionSandwichLemma43(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		g := RandomConnected(24, 50, rng)
+		// Mix unit and heavy edges.
+		mixed := New(g.N())
+		for _, e := range g.Edges() {
+			w := int64(1)
+			if rng.Intn(2) == 0 {
+				w = 2 + rng.Int63n(20)
+			}
+			mixed.MustAddEdge(e.U, e.V, w)
+		}
+		c := mixed.ContractUnitEdges()
+		if _, _, _, _, ok := c.CheckSandwich(mixed); !ok {
+			t.Fatalf("trial %d: Lemma 4.3 sandwich violated", trial)
+		}
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tests := []struct {
+		name string
+		g    *Graph
+		n    int
+	}{
+		{"random tree", RandomTree(30, rng), 30},
+		{"random connected", RandomConnected(30, 60, rng), 30},
+		{"expanderish", LowDiameterExpanderish(100, 4, rng), 100},
+		{"barbell", Barbell(5, 4), 13},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.g.N() != tt.n {
+				t.Errorf("n = %d, want %d", tt.g.N(), tt.n)
+			}
+			if !tt.g.Connected() {
+				t.Error("not connected")
+			}
+			if err := tt.g.Validate(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestRandomTreeEdgeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := RandomTree(50, rng)
+	if g.M() != 49 {
+		t.Fatalf("tree m = %d, want 49", g.M())
+	}
+}
+
+func TestDiameterControlled(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, d := range []int{2, 4, 8, 16} {
+		g := DiameterControlled(80, d, rng)
+		got := g.UnweightedDiameter()
+		if got < int64(d) || got > int64(d)+2 {
+			t.Errorf("d=%d: unweighted diameter = %d, want within [d, d+2]", d, got)
+		}
+		if !g.Connected() {
+			t.Errorf("d=%d: not connected", d)
+		}
+	}
+}
+
+func TestBarbellDiameter(t *testing.T) {
+	g := Barbell(4, 6)
+	// clique(1 hop) + bridge(6) + clique(1 hop)
+	if d := g.UnweightedDiameter(); d != 8 {
+		t.Fatalf("barbell diameter = %d, want 8", d)
+	}
+}
+
+func TestRandomWeightsRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := RandomWeights(Complete(8), 10, rng)
+	for _, e := range g.Edges() {
+		if e.W < 1 || e.W > 10 {
+			t.Fatalf("weight %d outside [1,10]", e.W)
+		}
+	}
+}
+
+func TestAPSPSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := RandomWeights(RandomConnected(20, 40, rng), 9, rng)
+	d := g.APSP()
+	for u := range d {
+		for v := range d[u] {
+			if d[u][v] != d[v][u] {
+				t.Fatalf("APSP not symmetric at (%d,%d)", u, v)
+			}
+		}
+		if d[u][u] != 0 {
+			t.Fatalf("APSP diagonal nonzero at %d", u)
+		}
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	g := Path(3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s := g.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestCenterAndPeripheralOnCycle(t *testing.T) {
+	g := Cycle(6)
+	if _, e := g.Center(); e != 3 {
+		t.Fatalf("cycle center ecc = %d, want 3", e)
+	}
+	if _, e := g.Peripheral(); e != 3 {
+		t.Fatalf("cycle peripheral ecc = %d, want 3", e)
+	}
+}
+
+func TestGridGeneratorShape(t *testing.T) {
+	g := Grid(4, 5)
+	if g.N() != 20 {
+		t.Fatalf("grid n = %d, want 20", g.N())
+	}
+	// m = rows*(cols-1) + (rows-1)*cols = 16 + 15 = 31.
+	if g.M() != 31 {
+		t.Fatalf("grid m = %d, want 31", g.M())
+	}
+}

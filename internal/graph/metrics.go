@@ -1,0 +1,119 @@
+package graph
+
+// This file computes the distance metrics studied by the paper: weighted and
+// unweighted eccentricity, diameter D_{G,w}, radius R_{G,w}, the unweighted
+// diameter D_G of the underlying network, and the hop diameter H_{G,w}
+// (§2.1, §3.1). All functions return Inf-based values on disconnected
+// graphs: the diameter of a disconnected graph is Inf.
+
+// Eccentricity returns e_{G,w}(u) = max_v d_{G,w}(u, v).
+func (g *Graph) Eccentricity(u int) int64 {
+	return maxOf(g.Dijkstra(u))
+}
+
+// Eccentricities returns e_{G,w}(u) for every node u.
+func (g *Graph) Eccentricities() []int64 {
+	out := make([]int64, g.n)
+	for u := 0; u < g.n; u++ {
+		out[u] = g.Eccentricity(u)
+	}
+	return out
+}
+
+// Diameter returns D_{G,w} = max_u e_{G,w}(u).
+func (g *Graph) Diameter() int64 {
+	return maxOf(g.Eccentricities())
+}
+
+// Radius returns R_{G,w} = min_u e_{G,w}(u).
+func (g *Graph) Radius() int64 {
+	return minOf(g.Eccentricities())
+}
+
+// Center returns a node with minimum eccentricity and that eccentricity.
+func (g *Graph) Center() (node int, ecc int64) {
+	eccs := g.Eccentricities()
+	node, ecc = 0, Inf
+	for u, e := range eccs {
+		if e < ecc {
+			node, ecc = u, e
+		}
+	}
+	return node, ecc
+}
+
+// Peripheral returns a node with maximum eccentricity and that eccentricity.
+func (g *Graph) Peripheral() (node int, ecc int64) {
+	eccs := g.Eccentricities()
+	node, ecc = 0, -1
+	for u, e := range eccs {
+		if e > ecc {
+			node, ecc = u, e
+		}
+	}
+	return node, ecc
+}
+
+// UnweightedEccentricity returns the eccentricity of u under w* = 1.
+func (g *Graph) UnweightedEccentricity(u int) int64 {
+	return maxOf(g.BFS(u))
+}
+
+// UnweightedDiameter returns D_G, the hop diameter of the underlying
+// unweighted network. This is the parameter D in the paper's round bounds.
+func (g *Graph) UnweightedDiameter() int64 {
+	var d int64
+	for u := 0; u < g.n; u++ {
+		if e := g.UnweightedEccentricity(u); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// UnweightedRadius returns the radius under w* = 1.
+func (g *Graph) UnweightedRadius() int64 {
+	r := Inf
+	for u := 0; u < g.n; u++ {
+		if e := g.UnweightedEccentricity(u); e < r {
+			r = e
+		}
+	}
+	return r
+}
+
+// HopDiameter returns H_{G,w}: the maximum over node pairs of the minimum
+// edge count among minimum-weight paths (§3.1).
+func (g *Graph) HopDiameter() int64 {
+	var h int64
+	for u := 0; u < g.n; u++ {
+		_, hops := g.DijkstraHops(u)
+		if m := maxOf(hops); m > h {
+			h = m
+		}
+	}
+	return h
+}
+
+func maxOf(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func minOf(xs []int64) int64 {
+	m := Inf
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return m
+}

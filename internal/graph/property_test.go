@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomInstance decodes a seeded random weighted connected graph for
+// property tests.
+func randomInstance(seed int64, maxN int, maxW int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 4 + rng.Intn(maxN-3)
+	m := n - 1 + rng.Intn(n)
+	return RandomWeights(RandomConnected(n, m, rng), maxW, rng)
+}
+
+func TestPropertyTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomInstance(seed, 24, 30)
+		d := g.APSP()
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				for w := 0; w < g.N(); w++ {
+					if d[u][v] > d[u][w]+d[w][v] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDistanceSymmetryAndIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomInstance(seed, 30, 50)
+		d := g.APSP()
+		for u := 0; u < g.N(); u++ {
+			if d[u][u] != 0 {
+				return false
+			}
+			for v := u + 1; v < g.N(); v++ {
+				if d[u][v] != d[v][u] || d[u][v] <= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBoundedHopMonotoneInL(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomInstance(seed, 20, 20)
+		src := int(uint64(seed) % uint64(g.N()))
+		prev := g.BoundedHopDist(src, 0)
+		for l := 1; l <= g.N(); l++ {
+			cur := g.BoundedHopDist(src, l)
+			for v := range cur {
+				if cur[v] > prev[v] {
+					return false // more hops can only improve
+				}
+			}
+			prev = cur
+		}
+		// At l = n, bounded-hop equals true distance.
+		d := g.Dijkstra(src)
+		for v := range d {
+			if d[v] != prev[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyHopDistanceConsistency(t *testing.T) {
+	// d^l(u,v) = d(u,v) whenever h(u,v) <= l (§3.1).
+	f := func(seed int64) bool {
+		g := randomInstance(seed, 18, 15)
+		for u := 0; u < g.N(); u++ {
+			dist, hops := g.DijkstraHops(u)
+			for v := 0; v < g.N(); v++ {
+				l := int(hops[v])
+				if l > g.N() {
+					continue
+				}
+				if got := g.BoundedHopDist(u, l)[v]; got != dist[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRadiusDiameterSandwich(t *testing.T) {
+	// R <= D <= 2R for any connected graph.
+	f := func(seed int64) bool {
+		g := randomInstance(seed, 25, 40)
+		d, r := g.Diameter(), g.Radius()
+		return r <= d && d <= 2*r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyContractionSandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(18)
+		base := RandomConnected(n, n-1+rng.Intn(n), rng)
+		g := New(n)
+		for _, e := range base.Edges() {
+			w := int64(1)
+			if rng.Intn(3) > 0 {
+				w = 2 + rng.Int63n(15)
+			}
+			g.MustAddEdge(e.U, e.V, w)
+		}
+		c := g.ContractUnitEdges()
+		_, _, _, _, ok := c.CheckSandwich(g)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyUnweightedDiameterLowerBoundsWeighted(t *testing.T) {
+	// With integer weights >= 1, the weighted diameter is at least the
+	// unweighted diameter of the same graph.
+	f := func(seed int64) bool {
+		g := randomInstance(seed, 22, 12)
+		return g.Diameter() >= g.UnweightedDiameter()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package qdist implements the distributed quantum optimization framework
+// of Le Gall-Magniez as stated in Lemma 3.1 of the paper: given three
+// quantum procedures (Initialization, Setup, Evaluation) with known round
+// schedules, the leader finds an element x with f(x) >= M — where the
+// amplitude mass on such elements is at least rho — in
+//
+//	T0 + O(√(log(1/δ)/ρ)) · T
+//
+// rounds. The framework is simulated at the algorithm level: Setup and
+// Evaluation are reversible classical procedures executed coherently, so
+// the round cost per amplitude-amplification iteration is fixed by their
+// schedules; the number of iterations is the genuine random variable of
+// the BBHT/Dürr-Høyer schedule, reproduced by internal/qsim (exact state
+// vectors on small domains, the validated sin² law on large ones).
+//
+// Every search reports both the measured rounds (what this run consumed)
+// and the fixed Lemma 3.1 budget (what the paper charges); experiments use
+// the measured value and tests confirm it concentrates below the budget.
+package qdist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qcongest/internal/qsim"
+)
+
+// Procedure describes the three black boxes of the framework with their
+// fixed round schedules. Value is the classical simulation of the
+// Evaluation unitary: the simulator computes f(x) locally, while the round
+// ledger charges the distributed schedule the paper's nodes would run.
+type Procedure struct {
+	Name        string
+	InitRounds  int64 // T0: Initialization, charged once
+	SetupRounds int64 // Setup schedule (and its inverse costs the same)
+	EvalRounds  int64 // Evaluation schedule (and inverse)
+	Domain      uint64
+	Value       func(x uint64) int64
+}
+
+// T returns the per-iteration schedule T = Setup + Evaluation.
+func (p Procedure) T() int64 { return p.SetupRounds + p.EvalRounds }
+
+// Validate checks the procedure is runnable.
+func (p Procedure) Validate() error {
+	if p.Domain == 0 {
+		return fmt.Errorf("qdist: %s: empty domain", p.Name)
+	}
+	if p.Value == nil {
+		return fmt.Errorf("qdist: %s: nil value oracle", p.Name)
+	}
+	if p.InitRounds < 0 || p.SetupRounds < 0 || p.EvalRounds < 0 {
+		return fmt.Errorf("qdist: %s: negative round schedule", p.Name)
+	}
+	return nil
+}
+
+// Result reports one framework search.
+type Result struct {
+	Found bool
+	X     uint64
+	Value int64
+
+	Iterations  int64 // Grover iterations executed (each costs 2T rounds)
+	Evaluations int64 // classical verifications (each costs T rounds)
+
+	MeasuredRounds int64 // T0 + 2T·Iterations + T·Evaluations
+	BudgetRounds   int64 // the fixed Lemma 3.1 budget for (rho, delta)
+}
+
+// Budget returns the Lemma 3.1 round budget T0 + ⌈√(ln(1/δ)/ρ)⌉·c·T with
+// the driver's constant c = 3 (two reflections plus verification per
+// amplification step).
+func Budget(p Procedure, rho, delta float64) int64 {
+	if rho <= 0 {
+		rho = 1 / float64(p.Domain)
+	}
+	if delta <= 0 || delta >= 1 {
+		delta = 1e-9
+	}
+	k := int64(math.Ceil(math.Sqrt(math.Log(1/delta) / rho)))
+	return p.InitRounds + 3*k*p.T()
+}
+
+// memoOracle caches Value calls: the framework evaluates f coherently, so
+// repeated classical evaluation of the same x models re-running the same
+// fixed schedule — the ledger still charges every invocation, only the
+// simulator-side computation is cached.
+type memoOracle struct {
+	p     Procedure
+	cache map[uint64]int64
+}
+
+func newMemoOracle(p Procedure) *memoOracle {
+	return &memoOracle{p: p, cache: make(map[uint64]int64)}
+}
+
+func (m *memoOracle) value(x uint64) int64 {
+	if v, ok := m.cache[x]; ok {
+		return v
+	}
+	v := m.p.Value(x)
+	m.cache[x] = v
+	return v
+}
+
+// FindAtLeast is the literal Lemma 3.1 interface: assuming the uniform
+// superposition puts mass at least rho on {x : f(x) >= m}, find such an x
+// with probability at least 1-delta. The threshold m is known to the
+// caller only through the marked predicate (the paper's M is unknown to
+// the nodes; here it parameterizes the experiment).
+func FindAtLeast(p Procedure, m int64, rho, delta float64, eng qsim.Engine, rng *rand.Rand) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	oracle := newMemoOracle(p)
+	res := Result{BudgetRounds: Budget(p, rho, delta), MeasuredRounds: p.InitRounds}
+	attempts := int(math.Ceil(math.Log(1/delta))) + 1
+	for a := 0; a < attempts; a++ {
+		r := qsim.BBHT(eng, p.Domain, func(x uint64) bool { return oracle.value(x) >= m }, rng)
+		res.Iterations += r.Rounds
+		res.Evaluations += r.Measures
+		if r.Found {
+			res.Found = true
+			res.X = r.Outcome
+			res.Value = oracle.value(r.Outcome)
+			break
+		}
+	}
+	res.MeasuredRounds += 2*p.T()*res.Iterations + p.T()*res.Evaluations
+	return res, nil
+}
+
+// Maximize finds argmax f over the domain by Dürr-Høyer threshold search,
+// charging the framework's round schedule. rho and delta parameterize the
+// reported Lemma 3.1 budget (the paper's usage: rho is the promised mass
+// at or above the unknown maximum).
+func Maximize(p Procedure, rho, delta float64, eng qsim.Engine, rng *rand.Rand) (Result, error) {
+	return optimize(p, rho, delta, eng, rng, false)
+}
+
+// Minimize is the minimizing variant of Maximize (used for the radius).
+func Minimize(p Procedure, rho, delta float64, eng qsim.Engine, rng *rand.Rand) (Result, error) {
+	return optimize(p, rho, delta, eng, rng, true)
+}
+
+// TopMass is the search mode the paper actually uses Lemma 3.1 in: given
+// that at least a rho fraction of the domain has f(x) >= M for some
+// unknown M, return an element of that top mass with probability >= 1-δ.
+// It runs Dürr-Høyer threshold ratcheting but caps the total number of
+// Grover iterations at the Lemma 3.1 budget O(√(log(1/δ)/ρ)) and returns
+// the best element seen — once an element of the top mass is sampled, the
+// returned value can only be at least M.
+func TopMass(p Procedure, rho, delta float64, eng qsim.Engine, rng *rand.Rand) (Result, error) {
+	return massSearch(p, rho, delta, eng, rng, false)
+}
+
+// BottomMass is the minimizing variant of TopMass: it returns an element
+// within the bottom rho mass (f(x) <= M for the unknown M), used for the
+// radius where the good indices have small approximate eccentricity.
+func BottomMass(p Procedure, rho, delta float64, eng qsim.Engine, rng *rand.Rand) (Result, error) {
+	return massSearch(p, rho, delta, eng, rng, true)
+}
+
+func massSearch(p Procedure, rho, delta float64, eng qsim.Engine, rng *rand.Rand, minimize bool) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if rho <= 0 || rho > 1 {
+		rho = 1 / float64(p.Domain)
+	}
+	if delta <= 0 || delta >= 1 {
+		delta = 1e-9
+	}
+	oracle := newMemoOracle(p)
+	f := func(x uint64) int64 {
+		if minimize {
+			return -oracle.value(x)
+		}
+		return oracle.value(x)
+	}
+	iterCap := int64(math.Ceil(math.Sqrt(math.Log(1/delta)/rho))) * 3
+	res := Result{BudgetRounds: Budget(p, rho, delta), MeasuredRounds: p.InitRounds}
+
+	best := uint64(rng.Int63n(int64(p.Domain)))
+	bv := f(best)
+	res.Evaluations++
+	for res.Iterations < iterCap {
+		r := qsim.BBHT(eng, p.Domain, func(x uint64) bool { return f(x) > bv }, rng)
+		res.Iterations += r.Rounds
+		res.Evaluations += r.Measures
+		if !r.Found {
+			break
+		}
+		best = r.Outcome
+		bv = f(best)
+	}
+	res.Found = true
+	res.X = best
+	res.Value = oracle.value(best)
+	res.MeasuredRounds += 2*p.T()*res.Iterations + p.T()*res.Evaluations
+	return res, nil
+}
+
+func optimize(p Procedure, rho, delta float64, eng qsim.Engine, rng *rand.Rand, minimize bool) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	oracle := newMemoOracle(p)
+	f := func(x uint64) int64 {
+		if minimize {
+			return -oracle.value(x)
+		}
+		return oracle.value(x)
+	}
+	dh := qsim.DurrHoyerMax(eng, p.Domain, f, rng)
+	val := dh.Value
+	if minimize {
+		val = -val
+	}
+	res := Result{
+		Found:          true,
+		X:              dh.Index,
+		Value:          val,
+		Iterations:     dh.Rounds,
+		Evaluations:    dh.Queries - dh.Rounds, // queries = iterations + verifications
+		BudgetRounds:   Budget(p, rho, delta),
+		MeasuredRounds: p.InitRounds,
+	}
+	res.MeasuredRounds += 2*p.T()*res.Iterations + p.T()*res.Evaluations
+	return res, nil
+}

@@ -1,0 +1,216 @@
+package qdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qcongest/internal/qsim"
+)
+
+func linearProc(vals []int64, t0, setup, eval int64) Procedure {
+	return Procedure{
+		Name:        "test",
+		InitRounds:  t0,
+		SetupRounds: setup,
+		EvalRounds:  eval,
+		Domain:      uint64(len(vals)),
+		Value:       func(x uint64) int64 { return vals[x] },
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Procedure
+		wantErr bool
+	}{
+		{"ok", linearProc([]int64{1, 2}, 0, 1, 1), false},
+		{"empty domain", Procedure{Domain: 0, Value: func(uint64) int64 { return 0 }}, true},
+		{"nil oracle", Procedure{Domain: 4}, true},
+		{"negative rounds", Procedure{Domain: 4, InitRounds: -1, Value: func(uint64) int64 { return 0 }}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMaximizeFindsTrueMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(120)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(10_000)
+		}
+		var want int64
+		for _, v := range vals {
+			if v > want {
+				want = v
+			}
+		}
+		res, err := Maximize(linearProc(vals, 5, 3, 7), 1/float64(n), 1e-6, qsim.Sampled, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != want {
+			t.Fatalf("trial %d: max %d, want %d", trial, res.Value, want)
+		}
+	}
+}
+
+func TestMinimizeFindsTrueMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := []int64{42, 17, 99, 3, 55, 3, 70}
+	res, err := Minimize(linearProc(vals, 0, 1, 1), 1.0/7, 1e-6, qsim.Exact, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 3 {
+		t.Fatalf("min = %d, want 3", res.Value)
+	}
+}
+
+func TestRoundChargingFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]int64, 50)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	p := linearProc(vals, 11, 4, 6)
+	res, err := Maximize(p, 0.02, 1e-6, qsim.Sampled, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.InitRounds + 2*p.T()*res.Iterations + p.T()*res.Evaluations
+	if res.MeasuredRounds != want {
+		t.Fatalf("MeasuredRounds = %d, want %d (ledger identity)", res.MeasuredRounds, want)
+	}
+	if res.Evaluations <= 0 || res.Iterations < 0 {
+		t.Fatalf("implausible ledger: %+v", res)
+	}
+}
+
+func TestFindAtLeastRespectsPromise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 200
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i % 10) // 10% of values are >= 9
+	}
+	misses := 0
+	for trial := 0; trial < 40; trial++ {
+		res, err := FindAtLeast(linearProc(vals, 0, 1, 1), 9, 0.1, 1e-6, qsim.Sampled, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			misses++
+			continue
+		}
+		if res.Value < 9 {
+			t.Fatalf("returned value %d below threshold", res.Value)
+		}
+	}
+	if misses > 1 {
+		t.Fatalf("%d/40 runs missed despite the 10%% promise", misses)
+	}
+}
+
+func TestFindAtLeastImpossibleThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	res, err := FindAtLeast(linearProc(vals, 0, 1, 1), 100, 0.5, 1e-3, qsim.Sampled, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("found an element above an impossible threshold")
+	}
+	if res.MeasuredRounds == 0 {
+		t.Fatal("no rounds charged for a failed search")
+	}
+}
+
+func TestBudgetFormula(t *testing.T) {
+	p := linearProc(make([]int64, 100), 7, 2, 3)
+	// k = ceil(sqrt(ln(1e6)/0.01)) = ceil(37.17...) = 38; budget = 7+3*38*5.
+	got := Budget(p, 0.01, 1e-6)
+	k := int64(math.Ceil(math.Sqrt(math.Log(1e6) / 0.01)))
+	want := 7 + 3*k*5
+	if got != want {
+		t.Fatalf("Budget = %d, want %d", got, want)
+	}
+}
+
+func TestMeasuredRoundsScaleAsSqrtDomain(t *testing.T) {
+	// The framework's measured rounds over a domain of size N with a unique
+	// maximum should scale ~√N, the quantum signature the paper exploits.
+	rng := rand.New(rand.NewSource(6))
+	avg := func(n int) float64 {
+		var total int64
+		const trials = 40
+		for i := 0; i < trials; i++ {
+			vals := make([]int64, n)
+			for j := range vals {
+				vals[j] = rng.Int63n(1 << 40)
+			}
+			res, err := Maximize(linearProc(vals, 0, 1, 1), 1/float64(n), 1e-6, qsim.Sampled, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.MeasuredRounds
+		}
+		return float64(total) / trials
+	}
+	small, large := avg(64), avg(1024)
+	if ratio := large / small; ratio > 8 {
+		t.Fatalf("rounds grew %fx over a 16x domain; want ~4x", ratio)
+	}
+}
+
+func TestMeasuredWithinBudgetTypically(t *testing.T) {
+	// A single Lemma 3.1 threshold search (FindAtLeast) must concentrate
+	// below the lemma's fixed budget when the promise rho is genuine.
+	rng := rand.New(rand.NewSource(7))
+	over := 0
+	const trials = 30
+	const n = 128
+	for i := 0; i < trials; i++ {
+		vals := make([]int64, n)
+		for j := range vals {
+			vals[j] = int64(j % 8) // 1/8 of the domain has value 7
+		}
+		res, err := FindAtLeast(linearProc(vals, 0, 2, 2), 7, 1.0/8, 1e-9, qsim.Sampled, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			t.Fatal("search missed despite genuine promise")
+		}
+		if res.MeasuredRounds > res.BudgetRounds {
+			over++
+		}
+	}
+	if over > trials/3 {
+		t.Fatalf("measured rounds exceeded the Lemma 3.1 budget in %d/%d runs", over, trials)
+	}
+}
+
+func TestExactAndSampledEnginesAgreeOnArgmax(t *testing.T) {
+	vals := []int64{5, 1, 9, 9, 2, 0, 4, 9}
+	for _, e := range []qsim.Engine{qsim.Exact, qsim.Sampled} {
+		rng := rand.New(rand.NewSource(8))
+		res, err := Maximize(linearProc(vals, 0, 1, 1), 3.0/8, 1e-6, e, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != 9 {
+			t.Fatalf("engine %v: max %d, want 9", e, res.Value)
+		}
+	}
+}

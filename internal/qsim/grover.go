@@ -1,0 +1,208 @@
+package qsim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Engine abstracts how amplitude amplification is executed: Exact runs the
+// full state vector; Sampled draws outcomes from the closed-form success
+// law sin²((2j+1)θ) with θ = asin(√(k/N)). Tests verify the two agree, so
+// large-domain runs can use Sampled without losing fidelity of either the
+// outcome distribution or the query counts.
+type Engine int
+
+// Engines.
+const (
+	Exact Engine = iota
+	Sampled
+)
+
+// SearchResult reports one search run.
+type SearchResult struct {
+	Found    bool
+	Outcome  uint64 // valid when Found
+	Queries  int64  // oracle invocations (Grover iterations + verification)
+	Rounds   int64  // Grover iterations only (each costs Setup+Eval+inverses)
+	Measures int64  // number of measurements (each costs one verification)
+}
+
+// GroverIterate runs j Grover iterations on the uniform superposition over
+// domain and returns the resulting state (Exact engine building block).
+func GroverIterate(domain uint64, marked func(uint64) bool, j int) *State {
+	s := NewUniform(domain)
+	axis := NewUniform(domain)
+	// Padding states above the domain carry zero amplitude; guard the
+	// oracle so predicates defined only on [0, domain) stay safe.
+	guarded := func(x uint64) bool { return x < domain && marked(x) }
+	for it := 0; it < j; it++ {
+		s.OraclePhaseFlip(guarded)
+		s.ReflectAbout(axis)
+	}
+	return s
+}
+
+// SuccessProbability returns the exact Grover success law
+// sin²((2j+1)·asin(√(k/N))) for k marked items among N after j iterations.
+func SuccessProbability(n, k uint64, j int) float64 {
+	if k == 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	theta := math.Asin(math.Sqrt(float64(k) / float64(n)))
+	v := math.Sin(float64(2*j+1) * theta)
+	return v * v
+}
+
+// countMarked enumerates the domain (the simulator stands in for physics;
+// the algorithm itself never uses this number).
+func countMarked(domain uint64, marked func(uint64) bool) uint64 {
+	var k uint64
+	for x := uint64(0); x < domain; x++ {
+		if marked(x) {
+			k++
+		}
+	}
+	return k
+}
+
+// runGrover executes j Grover iterations and one measurement, via the
+// chosen engine, returning the measured basis state.
+func runGrover(e Engine, domain uint64, marked func(uint64) bool, j int, rng *rand.Rand) uint64 {
+	if e == Exact {
+		s := GroverIterate(domain, marked, j)
+		// Restrict measurement to the domain (padding amplitudes are 0).
+		return s.Measure(rng)
+	}
+	k := countMarked(domain, marked)
+	p := SuccessProbability(domain, k, j)
+	if rng.Float64() < p {
+		// Uniform over marked items.
+		idx := rng.Int63n(int64(k))
+		for x := uint64(0); x < domain; x++ {
+			if marked(x) {
+				if idx == 0 {
+					return x
+				}
+				idx--
+			}
+		}
+	}
+	if k == domain {
+		return uint64(rng.Int63n(int64(domain)))
+	}
+	// Uniform over unmarked items.
+	idx := rng.Int63n(int64(domain - k))
+	for x := uint64(0); x < domain; x++ {
+		if !marked(x) {
+			if idx == 0 {
+				return x
+			}
+			idx--
+		}
+	}
+	return 0
+}
+
+// BBHT runs the Boyer-Brassard-Høyer-Tapp search for a marked element when
+// the number of marked elements is unknown. It returns the element if one
+// exists (with the canonical expected O(√(N/k)) oracle queries) and gives
+// up after the standard timeout when none does.
+func BBHT(e Engine, domain uint64, marked func(uint64) bool, rng *rand.Rand) SearchResult {
+	var res SearchResult
+	m := 1.0
+	lambda := 6.0 / 5.0
+	sqrtN := math.Sqrt(float64(domain))
+	// After the total query count (iterations plus verification
+	// measurements — the latter matter on tiny domains where the iteration
+	// counts round to zero) exceeds ~9√N, a marked element would have been
+	// found with overwhelming probability; conclude none exists.
+	budget := int64(9*sqrtN) + 16
+	for res.Queries <= budget {
+		j := rng.Intn(int(m))
+		x := runGrover(e, domain, marked, j, rng)
+		res.Rounds += int64(j)
+		res.Measures++
+		res.Queries += int64(j) + 1 // +1: classical verification of x
+		if marked(x) {
+			res.Found = true
+			res.Outcome = x
+			return res
+		}
+		m = math.Min(lambda*m, sqrtN)
+		if m < 1 {
+			m = 1
+		}
+	}
+	return res
+}
+
+// MaxResult reports a maximum-finding run.
+type MaxResult struct {
+	Index   uint64 // argmax over the domain
+	Value   int64
+	Queries int64
+	Rounds  int64
+}
+
+// DurrHoyerMax finds argmax f over [0, domain) by the Dürr-Høyer threshold
+// method: keep a threshold element, BBHT-search for a strictly better one,
+// repeat until the search fails. Expected O(√N) total oracle queries.
+func DurrHoyerMax(e Engine, domain uint64, f func(uint64) int64, rng *rand.Rand) MaxResult {
+	best := uint64(rng.Int63n(int64(domain)))
+	var out MaxResult
+	out.Queries++ // initial classical evaluation of the random start
+	for {
+		bv := f(best)
+		res := BBHT(e, domain, func(x uint64) bool { return f(x) > bv }, rng)
+		out.Queries += res.Queries
+		out.Rounds += res.Rounds
+		if !res.Found {
+			out.Index = best
+			out.Value = bv
+			return out
+		}
+		best = res.Outcome
+	}
+}
+
+// DurrHoyerMin is the minimizing variant of DurrHoyerMax.
+func DurrHoyerMin(e Engine, domain uint64, f func(uint64) int64, rng *rand.Rand) MaxResult {
+	r := DurrHoyerMax(e, domain, func(x uint64) int64 { return -f(x) }, rng)
+	r.Value = -r.Value
+	return r
+}
+
+// ThresholdSearch implements the Lemma 3.1 interface: given that the
+// fraction of domain elements with f(x) >= M is at least rho (M unknown to
+// the caller), find such an element with probability >= 1-delta. It runs
+// ceil(√(ln(1/δ)/ρ)) rounds of fixed-schedule amplitude amplification: the
+// standard "repeat Grover with exponentially growing iteration counts"
+// driver, giving up after the budget implied by rho and delta.
+//
+// Marked is the predicate "f(x) >= M", supplied by the caller's Evaluation
+// procedure (classically simulated; each invocation is a charged query).
+func ThresholdSearch(e Engine, domain uint64, marked func(uint64) bool, rho, delta float64, rng *rand.Rand) SearchResult {
+	if rho <= 0 || rho > 1 {
+		rho = 1 / float64(domain)
+	}
+	if delta <= 0 || delta >= 1 {
+		delta = 1e-9
+	}
+	attempts := int(math.Ceil(math.Log(1/delta))) + 1
+	var res SearchResult
+	for a := 0; a < attempts; a++ {
+		r := BBHT(e, domain, marked, rng)
+		res.Queries += r.Queries
+		res.Rounds += r.Rounds
+		res.Measures += r.Measures
+		if r.Found {
+			res.Found = true
+			res.Outcome = r.Outcome
+			return res
+		}
+	}
+	return res
+}

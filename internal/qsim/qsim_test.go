@@ -1,0 +1,411 @@
+package qsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-9
+
+func TestNewStateIsZero(t *testing.T) {
+	s := NewState(3)
+	if s.Dim() != 8 {
+		t.Fatalf("dim = %d, want 8", s.Dim())
+	}
+	if p := s.Prob(0); math.Abs(p-1) > tol {
+		t.Fatalf("P(|000>) = %f, want 1", p)
+	}
+}
+
+func TestHadamardUniform(t *testing.T) {
+	s := NewState(3)
+	for q := 0; q < 3; q++ {
+		s.H(q)
+	}
+	for x := uint64(0); x < 8; x++ {
+		if p := s.Prob(x); math.Abs(p-0.125) > tol {
+			t.Fatalf("P(%d) = %f, want 1/8", x, p)
+		}
+	}
+	if n := s.Norm(); math.Abs(n-1) > tol {
+		t.Fatalf("norm = %f", n)
+	}
+}
+
+func TestHadamardSelfInverse(t *testing.T) {
+	s := NewState(2)
+	s.H(0)
+	s.H(1)
+	s.H(0)
+	s.H(1)
+	if p := s.Prob(0); math.Abs(p-1) > tol {
+		t.Fatalf("HH != I: P(|00>) = %f", p)
+	}
+}
+
+func TestXGate(t *testing.T) {
+	s := NewState(2)
+	s.X(1)
+	if p := s.Prob(0b10); math.Abs(p-1) > tol {
+		t.Fatalf("X on qubit 1 gave P(10) = %f", p)
+	}
+}
+
+func TestCNOTBellState(t *testing.T) {
+	s := NewState(2)
+	s.H(0)
+	s.CNOT(0, 1)
+	if p00, p11 := s.Prob(0b00), s.Prob(0b11); math.Abs(p00-0.5) > tol || math.Abs(p11-0.5) > tol {
+		t.Fatalf("Bell state probs = %f, %f, want 0.5, 0.5", p00, p11)
+	}
+	if p01, p10 := s.Prob(0b01), s.Prob(0b10); p01 > tol || p10 > tol {
+		t.Fatalf("Bell state has weight on 01/10: %f, %f", p01, p10)
+	}
+}
+
+func TestZAndCZSigns(t *testing.T) {
+	s := NewState(2)
+	s.H(0)
+	s.H(1)
+	s.Z(0)
+	if a := s.Amplitude(0b01); real(a) >= 0 {
+		t.Fatal("Z did not flip sign of |01> component")
+	}
+	s2 := NewState(2)
+	s2.H(0)
+	s2.H(1)
+	s2.CZ(0, 1)
+	if a := s2.Amplitude(0b11); real(a) >= 0 {
+		t.Fatal("CZ did not flip sign of |11> component")
+	}
+	if a := s2.Amplitude(0b01); real(a) <= 0 {
+		t.Fatal("CZ flipped sign of |01> component")
+	}
+}
+
+func TestPhaseGate(t *testing.T) {
+	s := NewState(1)
+	s.H(0)
+	s.Phase(0, math.Pi) // equivalent to Z
+	s.H(0)
+	if p := s.Prob(1); math.Abs(p-1) > tol {
+		t.Fatalf("HZH != X: P(|1>) = %f", p)
+	}
+}
+
+func TestNewUniformNonPowerOfTwo(t *testing.T) {
+	s := NewUniform(5)
+	for x := uint64(0); x < 5; x++ {
+		if p := s.Prob(x); math.Abs(p-0.2) > tol {
+			t.Fatalf("P(%d) = %f, want 0.2", x, p)
+		}
+	}
+	for x := uint64(5); x < uint64(s.Dim()); x++ {
+		if s.Prob(x) > tol {
+			t.Fatalf("padding state %d has weight %f", x, s.Prob(x))
+		}
+	}
+}
+
+func TestGroverSingleMarkedExactLaw(t *testing.T) {
+	// 16 items, 1 marked: the success probability after j iterations must
+	// match sin²((2j+1)θ) exactly.
+	const domain = 16
+	marked := func(x uint64) bool { return x == 11 }
+	for j := 0; j <= 6; j++ {
+		s := GroverIterate(domain, marked, j)
+		want := SuccessProbability(domain, 1, j)
+		if got := s.Prob(11); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("j=%d: P(marked) = %.12f, want %.12f", j, got, want)
+		}
+	}
+}
+
+func TestGroverOptimalIterations(t *testing.T) {
+	// At j ≈ (π/4)√N the success probability is near 1.
+	const domain = 256
+	marked := func(x uint64) bool { return x == 200 }
+	theta := math.Asin(math.Sqrt(1.0 / domain))
+	j := int(math.Round(math.Pi/(4*theta) - 0.5))
+	s := GroverIterate(domain, marked, j)
+	if p := s.Prob(200); p < 0.999 {
+		t.Fatalf("P(marked) after %d iterations = %f, want > 0.999", j, p)
+	}
+}
+
+func TestGroverMultipleMarked(t *testing.T) {
+	const domain = 64
+	markedSet := map[uint64]bool{3: true, 17: true, 42: true, 63: true}
+	marked := func(x uint64) bool { return markedSet[x] }
+	for j := 0; j <= 4; j++ {
+		s := GroverIterate(domain, marked, j)
+		var got float64
+		for x := range markedSet {
+			got += s.Prob(x)
+		}
+		want := SuccessProbability(domain, 4, j)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("j=%d: total marked prob %.12f, want %.12f", j, got, want)
+		}
+	}
+}
+
+func TestBBHTFindsMarked(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, e := range []Engine{Exact, Sampled} {
+		for trial := 0; trial < 20; trial++ {
+			target := uint64(rng.Intn(128))
+			res := BBHT(e, 128, func(x uint64) bool { return x == target }, rng)
+			if !res.Found || res.Outcome != target {
+				t.Fatalf("engine %v trial %d: BBHT missed the marked item", e, trial)
+			}
+		}
+	}
+}
+
+func TestBBHTNoMarked(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	res := BBHT(Sampled, 64, func(uint64) bool { return false }, rng)
+	if res.Found {
+		t.Fatal("BBHT found a marked item in an unmarked domain")
+	}
+	if res.Queries == 0 {
+		t.Fatal("BBHT reported zero queries")
+	}
+}
+
+func TestBBHTQueryScaling(t *testing.T) {
+	// Average queries for a single marked item should grow ~√N: going from
+	// N=64 to N=1024 (16x) should grow queries by roughly 4x, certainly
+	// less than 16x (which would be classical).
+	rng := rand.New(rand.NewSource(3))
+	avg := func(domain uint64) float64 {
+		var total int64
+		const trials = 200
+		for i := 0; i < trials; i++ {
+			target := uint64(rng.Int63n(int64(domain)))
+			res := BBHT(Sampled, domain, func(x uint64) bool { return x == target }, rng)
+			if !res.Found {
+				t.Fatal("BBHT missed")
+			}
+			total += res.Queries
+		}
+		return float64(total) / trials
+	}
+	small, large := avg(64), avg(1024)
+	ratio := large / small
+	if ratio > 8 {
+		t.Fatalf("query ratio %f for 16x domain growth; want ~4 (quantum), got classical-like scaling", ratio)
+	}
+	if ratio < 1.5 {
+		t.Fatalf("query ratio %f is implausibly flat", ratio)
+	}
+}
+
+func TestEnginesAgreeOnSuccessRate(t *testing.T) {
+	// Exact and Sampled engines must have statistically indistinguishable
+	// success rates for a fixed iteration count.
+	const domain = 32
+	const j = 2
+	marked := func(x uint64) bool { return x < 3 }
+	want := SuccessProbability(domain, 3, j)
+	for _, e := range []Engine{Exact, Sampled} {
+		rng := rand.New(rand.NewSource(7))
+		hits := 0
+		const trials = 3000
+		for i := 0; i < trials; i++ {
+			if marked(runGrover(e, domain, marked, j, rng)) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		if math.Abs(got-want) > 0.04 {
+			t.Fatalf("engine %v: success rate %f, law %f", e, got, want)
+		}
+	}
+}
+
+func TestDurrHoyerMaxCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, e := range []Engine{Exact, Sampled} {
+		for trial := 0; trial < 15; trial++ {
+			n := uint64(20 + rng.Intn(100))
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = rng.Int63n(1000)
+			}
+			res := DurrHoyerMax(e, n, func(x uint64) int64 { return vals[x] }, rng)
+			var want int64 = -1
+			for _, v := range vals {
+				if v > want {
+					want = v
+				}
+			}
+			if res.Value != want {
+				t.Fatalf("engine %v trial %d: max = %d, want %d", e, trial, res.Value, want)
+			}
+		}
+	}
+}
+
+func TestDurrHoyerMinCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	vals := []int64{9, 4, 7, 1, 8, 3, 6}
+	res := DurrHoyerMin(Sampled, uint64(len(vals)), func(x uint64) int64 { return vals[x] }, rng)
+	if res.Value != 1 || res.Index != 3 {
+		t.Fatalf("min = (%d, %d), want (1, 3)", res.Value, res.Index)
+	}
+}
+
+func TestDurrHoyerQueryScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	avg := func(n uint64) float64 {
+		var total int64
+		const trials = 60
+		for i := 0; i < trials; i++ {
+			vals := make([]int64, n)
+			for j := range vals {
+				vals[j] = rng.Int63n(1 << 30)
+			}
+			res := DurrHoyerMax(Sampled, n, func(x uint64) int64 { return vals[x] }, rng)
+			total += res.Queries
+		}
+		return float64(total) / trials
+	}
+	small, large := avg(64), avg(1024)
+	if ratio := large / small; ratio > 8 {
+		t.Fatalf("Dürr-Høyer query ratio %f for 16x domain; want ~4", ratio)
+	}
+}
+
+func TestThresholdSearchRespectsPromise(t *testing.T) {
+	// 10% of items are above the hidden threshold; the search must find one
+	// with high probability.
+	rng := rand.New(rand.NewSource(11))
+	const domain = 200
+	marked := func(x uint64) bool { return x%10 == 0 }
+	misses := 0
+	for trial := 0; trial < 50; trial++ {
+		res := ThresholdSearch(Sampled, domain, marked, 0.1, 1e-6, rng)
+		if !res.Found {
+			misses++
+		} else if !marked(res.Outcome) {
+			t.Fatal("threshold search returned an unmarked item as found")
+		}
+	}
+	if misses > 1 {
+		t.Fatalf("%d/50 threshold searches missed despite the promise", misses)
+	}
+}
+
+func TestPropertyGateUnitarity(t *testing.T) {
+	// Random circuits preserve the norm.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewState(4)
+		for i := 0; i < 30; i++ {
+			q := rng.Intn(4)
+			switch rng.Intn(5) {
+			case 0:
+				s.H(q)
+			case 1:
+				s.X(q)
+			case 2:
+				s.Z(q)
+			case 3:
+				s.Phase(q, rng.Float64()*2*math.Pi)
+			case 4:
+				r := rng.Intn(4)
+				if r != q {
+					s.CNOT(q, r)
+				}
+			}
+		}
+		return math.Abs(s.Norm()-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatePanics(t *testing.T) {
+	s := NewState(2)
+	for name, f := range map[string]func(){
+		"H out of range":   func() { s.H(2) },
+		"CNOT same qubit":  func() { s.CNOT(1, 1) },
+		"CZ same qubit":    func() { s.CZ(0, 0) },
+		"too many qubits":  func() { NewState(25) },
+		"zero qubits":      func() { NewState(0) },
+		"empty uniform":    func() { NewUniform(0) },
+		"reflect mismatch": func() { s.ReflectAbout(NewState(3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMeasureDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := NewState(2)
+	s.H(0) // uniform over {00, 01}
+	counts := map[uint64]int{}
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		counts[s.Measure(rng)]++
+	}
+	if counts[2] != 0 || counts[3] != 0 {
+		t.Fatal("measured a zero-amplitude state")
+	}
+	if f := float64(counts[0]) / trials; math.Abs(f-0.5) > 0.05 {
+		t.Fatalf("P(00) estimated %f, want 0.5", f)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := NewState(2)
+	s.H(0)
+	c := s.Clone()
+	c.X(1)
+	if s.Prob(0b10)+s.Prob(0b11) > tol {
+		t.Fatal("mutating the clone changed the original")
+	}
+	if c.Qubits() != 2 {
+		t.Fatalf("clone qubits = %d", c.Qubits())
+	}
+}
+
+func TestReflectAboutUniformIsDiffusion(t *testing.T) {
+	// Reflecting |0> about the uniform state gives amplitudes 2/N - δ_x0.
+	s := NewState(3)
+	axis := NewUniform(8)
+	s.ReflectAbout(axis)
+	want0 := 2.0/8 - 1
+	if a := real(s.Amplitude(0)); math.Abs(a-want0) > tol {
+		t.Fatalf("amp(0) = %f, want %f", a, want0)
+	}
+	for x := uint64(1); x < 8; x++ {
+		if a := real(s.Amplitude(x)); math.Abs(a-0.25) > tol {
+			t.Fatalf("amp(%d) = %f, want 0.25", x, a)
+		}
+	}
+}
+
+func TestSuccessProbabilityEdgeCases(t *testing.T) {
+	if p := SuccessProbability(16, 0, 5); p != 0 {
+		t.Fatalf("k=0 gave %f", p)
+	}
+	if p := SuccessProbability(16, 16, 0); p != 1 {
+		t.Fatalf("k=n gave %f", p)
+	}
+	if p := SuccessProbability(16, 20, 3); p != 1 {
+		t.Fatalf("k>n gave %f", p)
+	}
+}

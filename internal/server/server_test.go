@@ -1,0 +1,230 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qcongest/internal/congest"
+	"qcongest/internal/dist"
+	"qcongest/internal/gadget"
+)
+
+func buildGadget(t *testing.T, h int, seed int64, force bool) (*gadget.Construction, *gadget.Input, *gadget.Input) {
+	t.Helper()
+	s, l, err := gadget.EqTwoParams(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x, y := gadget.RandomInput(1<<uint(s), l, force, func() bool { return rng.Intn(2) == 0 }, rng.Intn)
+	alpha, beta, err := gadget.TheoremWeights(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := gadget.BuildDiameter(h, x, y, alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, x, y
+}
+
+func TestOwnershipInitialState(t *testing.T) {
+	c, _, _ := buildGadget(t, 4, 1, true)
+	o := NewOwnership(c)
+	// Round 0: the server owns every VS node, Alice owns VA, Bob owns VB.
+	for _, v := range c.VS {
+		if got := o.Owner(0, v); got != ServerParty {
+			t.Fatalf("round 0: VS node %d owned by %v", v, got)
+		}
+	}
+	for _, v := range c.VA {
+		if got := o.Owner(0, v); got != AliceParty {
+			t.Fatalf("round 0: VA node %d owned by %v", v, got)
+		}
+	}
+	for _, v := range c.VB {
+		if got := o.Owner(0, v); got != BobParty {
+			t.Fatalf("round 0: VB node %d owned by %v", v, got)
+		}
+	}
+}
+
+func TestOwnershipAdvance(t *testing.T) {
+	c, _, _ := buildGadget(t, 4, 2, true)
+	o := NewOwnership(c)
+	width := 1 << uint(c.H)
+	// After r rounds, Alice owns the first r path positions, Bob the last r.
+	for r := 1; r <= o.MaxRounds(); r++ {
+		for i := range c.Paths {
+			for j0, id := range c.Paths[i] {
+				j := j0 + 1
+				var want Party
+				switch {
+				case j < 1+r:
+					want = AliceParty
+				case j > width-r:
+					want = BobParty
+				default:
+					want = ServerParty
+				}
+				if got := o.Owner(r, id); got != want {
+					t.Fatalf("r=%d path(%d,%d): owner %v, want %v", r, i, j, got, want)
+				}
+			}
+		}
+	}
+	// The tree root stays with the server for all valid rounds.
+	for r := 0; r <= o.MaxRounds(); r++ {
+		if got := o.Owner(r, c.Tree[0][0]); got != ServerParty {
+			t.Fatalf("r=%d: root owned by %v", r, got)
+		}
+	}
+}
+
+func TestOwnershipMonotone(t *testing.T) {
+	// Once Alice owns a node she owns it forever (the lemma's frontier only
+	// advances inward); same for Bob.
+	c, _, _ := buildGadget(t, 4, 3, false)
+	o := NewOwnership(c)
+	for _, v := range c.VS {
+		prev := o.Owner(0, v)
+		for r := 1; r <= o.MaxRounds(); r++ {
+			cur := o.Owner(r, v)
+			if prev == AliceParty && cur != AliceParty {
+				t.Fatalf("node %d left Alice at round %d", v, r)
+			}
+			if prev == BobParty && cur != BobParty {
+				t.Fatalf("node %d left Bob at round %d", v, r)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestPropertyOwnershipPartition(t *testing.T) {
+	c, _, _ := buildGadget(t, 4, 4, true)
+	o := NewOwnership(c)
+	f := func(rSeed uint8) bool {
+		r := int(rSeed) % (o.MaxRounds() + 1)
+		for v := 0; v < c.G.N(); v++ {
+			p := o.Owner(r, v)
+			if p != ServerParty && p != AliceParty && p != BobParty {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateBFSWithinLemmaBounds(t *testing.T) {
+	// Run a real distributed algorithm (BFS flood from the tree root) for
+	// T < 2^h/2 rounds and verify the charged communication obeys the
+	// lemma: at most 2h messages per round cross from Alice/Bob into the
+	// server's region.
+	c, _, _ := buildGadget(t, 4, 5, true)
+	o := NewOwnership(c)
+	root := c.Tree[0][0]
+	budget := o.MaxRounds() - 1
+	rep, err := Simulate(c, func(int) congest.Proc {
+		return &dist.BFSTreeProc{Root: root, Budget: budget}
+	}, congest.Options{MaxRounds: budget + 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.WithinLemmaBounds {
+		t.Fatalf("lemma bounds violated: %v", rep)
+	}
+	if rep.TotalMessages == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	if rep.ChargedMessages > rep.LemmaTotalCap {
+		t.Fatalf("charged %d > cap %d", rep.ChargedMessages, rep.LemmaTotalCap)
+	}
+	// Most traffic must be free: the tree/paths flood is server-internal
+	// in early rounds and party-internal on the sides.
+	if rep.ChargedMessages*4 > rep.TotalMessages {
+		t.Fatalf("implausibly high charged fraction: %v", rep)
+	}
+}
+
+func TestSimulateRejectsTooManyRounds(t *testing.T) {
+	c, _, _ := buildGadget(t, 2, 6, true)
+	o := NewOwnership(c)
+	budget := o.MaxRounds() + 5
+	_, err := Simulate(c, func(int) congest.Proc {
+		return &dist.BFSTreeProc{Root: c.Tree[0][0], Budget: budget}
+	}, congest.Options{MaxRounds: budget + 4})
+	if err == nil {
+		t.Fatal("schedule accepted T >= 2^h/2")
+	}
+}
+
+func TestDecideDiameterReduction(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		force := seed%2 == 0
+		c, x, y := buildGadget(t, 2, seed+20, force)
+		out := DecideDiameter(c, x, y)
+		if !out.Correct {
+			t.Fatalf("seed %d: reduction decided %v, truth %v (estimate %d, threshold %d)",
+				seed, out.Decided, out.Truth, out.Estimate, out.Threshold)
+		}
+	}
+}
+
+func TestDecideRadiusReduction(t *testing.T) {
+	s, l, err := gadget.EqTwoParams(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, beta, err := gadget.TheoremWeights(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		force := seed%2 == 0
+		rng := rand.New(rand.NewSource(seed + 40))
+		x := gadget.NewInput(1<<uint(s), l)
+		y := gadget.NewInput(1<<uint(s), l)
+		for i := 0; i < x.Rows; i++ {
+			for j := 0; j < x.Cols; j++ {
+				x.Set(i, j, rng.Intn(2) == 0)
+				y.Set(i, j, rng.Intn(2) == 0)
+				if !force && x.Get(i, j) && y.Get(i, j) {
+					y.Set(i, j, false)
+				}
+			}
+		}
+		if force {
+			x.Set(1, 0, true)
+			y.Set(1, 0, true)
+		}
+		c, err := gadget.BuildRadius(2, x, y, alpha, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := DecideRadius(c, x, y)
+		if !out.Correct {
+			t.Fatalf("seed %d: radius reduction decided %v, truth %v (estimate %d)",
+				seed, out.Decided, out.Truth, out.Estimate)
+		}
+	}
+}
+
+func TestLowerBoundRoundsShape(t *testing.T) {
+	// n^(2/3)/log²n grows with n and is sublinear.
+	prev := 0.0
+	for _, n := range []int{100, 1000, 10_000, 100_000} {
+		v := LowerBoundRounds(n)
+		if v <= prev {
+			t.Fatalf("lower bound not increasing at n=%d", n)
+		}
+		if v >= float64(n) {
+			t.Fatalf("lower bound superlinear at n=%d", n)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,123 @@
+// Package qcongest is a reproduction of Wu & Yao, "Quantum Complexity of
+// Weighted Diameter and Radius in CONGEST Networks" (PODC 2022,
+// arXiv:2206.02767), as a production Go library.
+//
+// The package re-exports the library's stable surface:
+//
+//   - Weighted graphs and generators (the network substrate).
+//   - Approximate: the paper's Theorem 1.1 algorithm — a quantum CONGEST
+//     procedure that (1+o(1))-approximates the weighted diameter or radius
+//     in Õ(min{n^(9/10)·D^(3/10), n}) simulated rounds.
+//   - The lower-bound pipeline of Theorems 4.2/4.8: gadget constructions,
+//     the F/F' communication problems, and the Server-model simulation of
+//     Lemma 4.1.
+//   - The classical and quantum baselines of Table 1.
+//
+// See README.md for a quickstart and DESIGN.md for how the quantum and
+// network substrates are simulated.
+package qcongest
+
+import (
+	"math/rand"
+
+	"qcongest/internal/baseline"
+	"qcongest/internal/congest"
+	"qcongest/internal/core"
+	"qcongest/internal/gadget"
+	"qcongest/internal/graph"
+	"qcongest/internal/server"
+)
+
+// Graph is an undirected weighted network (w : E -> N+).
+type Graph = graph.Graph
+
+// NewGraph returns an empty graph with n nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Generators for experiment workloads.
+var (
+	Path               = graph.Path
+	Cycle              = graph.Cycle
+	Star               = graph.Star
+	Complete           = graph.Complete
+	Grid               = graph.Grid
+	RandomTree         = graph.RandomTree
+	RandomConnected    = graph.RandomConnected
+	RandomWeights      = graph.RandomWeights
+	LowDiameter        = graph.LowDiameterExpanderish
+	DiameterControlled = graph.DiameterControlled
+	Barbell            = graph.Barbell
+)
+
+// Mode selects the metric for Approximate.
+type Mode = core.Mode
+
+// Modes.
+const (
+	DiameterMode = core.DiameterMode
+	RadiusMode   = core.RadiusMode
+)
+
+// Options configure Approximate.
+type Options = core.Options
+
+// Result is the outcome of Approximate, including the round ledger.
+type Result = core.Result
+
+// Params are the paper's Eq. (1) parameter choices.
+type Params = core.Params
+
+// Approximate runs the Theorem 1.1 quantum CONGEST algorithm on the
+// weighted network g and returns a (1+o(1))-approximation of the chosen
+// metric with its measured round complexity.
+func Approximate(g *Graph, mode Mode, opts Options) (*Result, error) {
+	return core.Approximate(g, mode, opts)
+}
+
+// Lower-bound pipeline (§4).
+type (
+	// Input is a two-party lower-bound input x ∈ {0,1}^(2^s × ℓ).
+	Input = gadget.Input
+	// Construction is an instantiated Figure 2/4 gadget network.
+	Construction = gadget.Construction
+	// GapReport is a Lemma 4.4/4.9 verification outcome.
+	GapReport = gadget.GapReport
+	// SimulationReport is the Lemma 4.1 Server-model accounting.
+	SimulationReport = server.Report
+)
+
+// Lower-bound functions and builders.
+var (
+	NewInput          = gadget.NewInput
+	F                 = gadget.F
+	FPrime            = gadget.FPrime
+	BuildDiameterGap  = gadget.BuildDiameter
+	BuildRadiusGap    = gadget.BuildRadius
+	TheoremWeights    = gadget.TheoremWeights
+	EqTwoParams       = gadget.EqTwoParams
+	LowerBoundRounds  = server.LowerBoundRounds
+	DecideDiameterRed = server.DecideDiameter
+	DecideRadiusRed   = server.DecideRadius
+)
+
+// SimOptions configure a CONGEST simulation run.
+type SimOptions = congest.Options
+
+// SimStats is the exact round/message accounting of a simulation.
+type SimStats = congest.Stats
+
+// ClassicalDiameter runs the classical exact APSP baseline and returns
+// the exact weighted diameter and radius with measured CONGEST rounds.
+func ClassicalDiameter(g *Graph, opts SimOptions) (diam, radius int64, stats SimStats, err error) {
+	return baseline.ClassicalDiameter(g, opts)
+}
+
+// QuantumUnweightedDiameter runs the Le Gall-Magniez-style quantum
+// baseline for the unweighted diameter.
+func QuantumUnweightedDiameter(g *Graph, seed int64) (baseline.QuantumUnweightedResult, error) {
+	return baseline.QuantumUnweightedDiameter(g, seed)
+}
+
+// NewRand returns a deterministic PRNG for workload generation; the
+// library never uses global randomness.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
