@@ -1,0 +1,3 @@
+module qcongest
+
+go 1.21

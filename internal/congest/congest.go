@@ -69,6 +69,7 @@ type Stats struct {
 	BusiestVolume int64 // messages in that round
 }
 
+// String returns a short human-readable summary of the run cost.
 func (s Stats) String() string {
 	return fmt.Sprintf("rounds=%d msgs=%d maxEdgeLoad=%d", s.Rounds, s.Messages, s.MaxEdgeLoad)
 }

@@ -19,6 +19,7 @@ const (
 	RadiusMode
 )
 
+// String returns the metric name ("diameter" or "radius").
 func (m Mode) String() string {
 	if m == RadiusMode {
 		return "radius"

@@ -7,38 +7,29 @@ import (
 )
 
 // Cost model for the three procedures of Lemma 3.5 and the outer search of
-// Theorem 1.1. Every formula is the exact schedule length of the
-// corresponding executable procedure in internal/dist (where one exists)
-// or the explicit-constant form of the Appendix A bound; integration tests
-// check the executable procedures stay within these schedules.
+// Theorem 1.1. The schedule formulas live in internal/dist next to the
+// executable procedures they describe (the thin wrappers below keep this
+// file's naming); integration tests check the executable procedures stay
+// within these schedules.
 
-// alg1PhaseRounds is the fixed per-phase schedule of Algorithm 1:
-// (1+2T)ℓ + 2 rounds.
-func alg1PhaseRounds(l int, eps dist.Eps) int64 {
-	return (1+2*eps.T)*int64(l) + 2
-}
-
-// alg1Rounds is the fixed schedule of Algorithm 1: one phase per rounding
-// index.
+// alg1Rounds is the fixed schedule of Algorithm 1: one (1+2T)ℓ + 2 round
+// phase per rounding index.
 func alg1Rounds(n int, w int64, l int, eps dist.Eps) int64 {
-	return int64(dist.IMax(n, w, eps)+1) * alg1PhaseRounds(l, eps)
+	return dist.Alg1Schedule(n, w, l, eps)
 }
 
 // alg3Rounds is the fixed schedule of Algorithm 3 with b sources: the
 // Algorithm 1 schedule plus the maximum random delay, all stretched by
 // C = ⌈log2 n⌉ subrounds, plus the O(D + b) leader broadcast of delays.
 func alg3Rounds(n int, w int64, l int, eps dist.Eps, b int, d int64) int64 {
-	c := int64(dist.SubroundsPerLogical(n))
-	maxDelay := int64(b)*c + 1
-	logical := maxDelay + alg1Rounds(n, w, l, eps) + 1
-	return d + int64(b) + logical*c
+	return dist.Alg3Schedule(n, w, l, eps, b, d)
 }
 
 // embedRounds is the Algorithm 4 schedule: each of the b skeleton nodes
 // broadcasts its k shortest overlay edges, O(D + b·k) rounds by pipelined
 // dissemination.
 func embedRounds(d int64, b, k int) int64 {
-	return d + int64(b*k) + 1
+	return dist.EmbedSchedule(d, b, k)
 }
 
 // overlaySSSPRounds is the Algorithm 5 schedule: T' logical rounds of
@@ -46,13 +37,7 @@ func embedRounds(d int64, b, k int) int64 {
 // to n·W), each implemented by a global broadcast of O(D + a) rounds, plus
 // the total broadcast volume O(b·log n).
 func overlaySSSPRounds(n int, w int64, b, k int, eps dist.Eps, d int64) int64 {
-	lp := (4*b + k - 1) / k
-	if lp < 1 {
-		lp = 1
-	}
-	tPrime := alg1Rounds(b+1, int64(n)*w, lp, eps)
-	c := int64(dist.SubroundsPerLogical(n))
-	return tPrime*(d+1) + int64(b)*c
+	return dist.OverlaySchedule(n, w, b, k, eps, d)
 }
 
 // InnerCosts is the Lemma 3.5 decomposition for one index i: the fixed

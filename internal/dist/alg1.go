@@ -1,0 +1,199 @@
+// Executable Algorithm 1: single-source (1+ε)-approximate ℓ-hop-bounded
+// SSSP in the CONGEST simulator. The procedure runs one Bellman-Ford
+// phase per rounding scale i = 0..i_max on the up-rounded integer
+// weights ⌈w·2Tℓ/2^i⌉, each phase on the fixed schedule
+// (1+2T)ℓ + 2 rounds that internal/core's cost model charges
+// (alg1PhaseRounds). The schedule is a constant of (n, W, ℓ, ε) — never
+// data dependent — because Lemma 3.1 executes these procedures
+// coherently and needs their length known in advance; rounds the
+// relaxation does not use are idle padding.
+
+package dist
+
+import (
+	"fmt"
+
+	"qcongest/internal/congest"
+	"qcongest/internal/graph"
+)
+
+// kindAlg1 tags Algorithm 1 relaxations; A carries the rounding scale i
+// and B the sender's scale-i value.
+const kindAlg1 uint8 = 32
+
+// DistEstimate is the output of an Algorithm 1/3 run for one source:
+// (1+ε)-approximate ℓ-hop-bounded distances as exact rationals — integer
+// numerators over the common denominator Den, with graph.Inf marking
+// vertices unreachable within the hop budget.
+type DistEstimate struct {
+	// Source is the SSSP source vertex.
+	Source int
+	// Num holds one numerator per vertex.
+	Num []int64
+	// Den is the shared denominator 2·T·ℓ.
+	Den int64
+}
+
+// Value returns the estimate for v as a float64 (+Inf when the hop
+// budget was exceeded).
+func (d *DistEstimate) Value(v int) float64 {
+	if d.Num[v] >= graph.Inf {
+		return float64(graph.Inf)
+	}
+	return float64(d.Num[v]) / float64(d.Den)
+}
+
+// alg1Proc is one node of the executable Algorithm 1.
+type alg1Proc struct {
+	src   int
+	l     int
+	eps   Eps
+	imax  int
+	phase int64 // (1+2T)ℓ + 2: fixed per-scale schedule
+	total int64 // (i_max+1)·phase: fixed overall schedule
+
+	env      *congest.Env
+	weights  map[int]int64 // neighbor ID -> edge weight
+	den      int64
+	capVal   int64
+	best     []int64 // per-scale value, capped Bellman-Ford state
+	announce bool
+	out      []int64 // final numerators, min over scales of best·2^i
+}
+
+var _ congest.Proc = (*alg1Proc)(nil)
+
+// Init implements congest.Proc.
+func (p *alg1Proc) Init(env *congest.Env) {
+	p.env = env
+	p.weights = neighborWeights(env)
+	p.den = p.eps.Den(p.l)
+	p.capVal = (1 + 2*p.eps.T) * int64(p.l)
+	p.best = make([]int64, p.imax+1)
+	for i := range p.best {
+		p.best[i] = graph.Inf
+	}
+	p.out = nil
+}
+
+// Step implements congest.Proc. Scale i occupies rounds
+// [i·phase, (i+1)·phase); within a scale, offset 0 is the source's
+// announcement and offsets 1..ℓ carry the relaxation wave, so a value
+// announced at offset t is the length of a path of at most t hops —
+// the hop bound is enforced by the schedule itself.
+func (p *alg1Proc) Step(round int, inbox []congest.Received) ([]congest.Send, bool) {
+	r := int64(round)
+	if r >= p.total {
+		return nil, true
+	}
+	scale := r / p.phase
+	offset := r % p.phase
+	i := int(scale)
+
+	if offset == 0 {
+		p.announce = p.env.ID == p.src
+		if p.announce {
+			p.best[i] = 0
+		}
+	}
+	if offset <= int64(p.l) {
+		for _, rcv := range inbox {
+			if rcv.Msg.Kind != kindAlg1 || rcv.Msg.A != scale {
+				continue
+			}
+			w := ceilDiv(p.weightTo(rcv.From)*p.den, int64(1)<<uint(i))
+			if cand := rcv.Msg.B + w; cand < p.best[i] && cand <= p.capVal {
+				p.best[i] = cand
+				p.announce = true
+			}
+		}
+	}
+	var out []congest.Send
+	if p.announce && offset < int64(p.l) {
+		p.announce = false
+		for _, a := range p.env.Neighbors {
+			out = append(out, congest.Send{To: a.To, Msg: congest.Message{Kind: kindAlg1, A: scale, B: p.best[i]}})
+		}
+	}
+	done := r == p.total-1
+	if done {
+		p.finish()
+	}
+	return out, done
+}
+
+func (p *alg1Proc) finish() {
+	v := graph.Inf
+	for i, bh := range p.best {
+		if bh == graph.Inf {
+			continue
+		}
+		if scaled := bh * (int64(1) << uint(i)); scaled < v {
+			v = scaled
+		}
+	}
+	p.out = []int64{v}
+}
+
+func (p *alg1Proc) weightTo(from int) int64 {
+	w, ok := p.weights[from]
+	if !ok {
+		panic("dist: Algorithm 1 message from non-neighbor")
+	}
+	return w
+}
+
+// neighborWeights indexes a node's incident weights by neighbor ID
+// (keeping the minimum across parallel edges) so per-message lookups in
+// the relaxation loops are O(1) instead of a Neighbors scan.
+func neighborWeights(env *congest.Env) map[int]int64 {
+	m := make(map[int]int64, len(env.Neighbors))
+	for _, a := range env.Neighbors {
+		if w, ok := m[a.To]; !ok || a.W < w {
+			m[a.To] = a.W
+		}
+	}
+	return m
+}
+
+// RunAlg1 executes Algorithm 1 from src with hop budget l and rounding
+// parameter eps, returning the (1+ε)-approximate ℓ-hop distances and the
+// exact simulation statistics. The measured rounds equal the fixed
+// schedule (i_max+1)·((1+2T)ℓ+2) that internal/core charges.
+func RunAlg1(g *graph.Graph, src, l int, eps Eps, opts congest.Options) (*DistEstimate, congest.Stats, error) {
+	if src < 0 || src >= g.N() {
+		return nil, congest.Stats{}, fmt.Errorf("dist: Algorithm 1 source %d out of range [0,%d)", src, g.N())
+	}
+	if l < 1 {
+		l = 1
+	}
+	if eps.T < 1 {
+		eps.T = 1
+	}
+	imax := IMax(g.N(), maxW(g), eps)
+	phase := (1+2*eps.T)*int64(l) + 2
+	total := int64(imax+1) * phase
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = int(total) + 8
+	}
+
+	nodes := make([]*alg1Proc, g.N())
+	procs := make([]congest.Proc, g.N())
+	for i := range procs {
+		nodes[i] = &alg1Proc{src: src, l: l, eps: eps, imax: imax, phase: phase, total: total}
+		procs[i] = nodes[i]
+	}
+	sim, err := congest.NewSim(g, procs, opts)
+	if err != nil {
+		return nil, congest.Stats{}, err
+	}
+	stats, err := sim.Run()
+	if err != nil {
+		return nil, stats, err
+	}
+	est := &DistEstimate{Source: src, Num: make([]int64, g.N()), Den: eps.Den(l)}
+	for v, p := range nodes {
+		est.Num[v] = p.out[0]
+	}
+	return est, stats, nil
+}

@@ -1,0 +1,111 @@
+// An executable BFS-tree flood in the CONGEST simulator. This is the
+// simplest real distributed procedure in the repository: internal/server
+// runs it on the lower-bound gadgets to exercise the Lemma 4.1 ownership
+// schedule with genuine traffic, and the paper's Algorithm 3 uses a BFS
+// tree for its leader broadcast/converge-cast phases.
+
+package dist
+
+import (
+	"fmt"
+
+	"qcongest/internal/congest"
+	"qcongest/internal/graph"
+)
+
+// kindBFSTree tags BFS announcements; A carries the sender's depth.
+const kindBFSTree uint8 = 31
+
+// BFSTreeProc is a congest.Proc that floods a BFS tree from Root for at
+// most Budget rounds. Every node announces its depth once, in the round
+// it is discovered; nodes not reached within the budget finish with no
+// parent. The procedure quiesces by round Budget+1, so a simulation with
+// MaxRounds >= Budget+2 always terminates cleanly.
+type BFSTreeProc struct {
+	// Root is the flood source.
+	Root int
+	// Budget is the round budget: no announcements are sent in rounds
+	// >= Budget, and every node reports done by round Budget.
+	Budget int
+
+	env       *congest.Env
+	depth     int64
+	parent    int
+	announced bool
+}
+
+var _ congest.Proc = (*BFSTreeProc)(nil)
+
+// Init implements congest.Proc.
+func (p *BFSTreeProc) Init(env *congest.Env) {
+	p.env = env
+	p.depth = graph.Inf
+	p.parent = -1
+	p.announced = false
+	if env.ID == p.Root {
+		p.depth = 0
+	}
+}
+
+// Step implements congest.Proc: adopt the first (lowest-depth) announcer
+// as parent, then announce the node's own depth to every neighbor once.
+func (p *BFSTreeProc) Step(round int, inbox []congest.Received) ([]congest.Send, bool) {
+	for _, rcv := range inbox {
+		if rcv.Msg.Kind != kindBFSTree {
+			continue
+		}
+		if d := rcv.Msg.A + 1; d < p.depth {
+			p.depth = d
+			p.parent = rcv.From
+		}
+	}
+	var out []congest.Send
+	if p.depth != graph.Inf && !p.announced && round < p.Budget {
+		p.announced = true
+		for _, a := range p.env.Neighbors {
+			out = append(out, congest.Send{To: a.To, Msg: congest.Message{Kind: kindBFSTree, A: p.depth}})
+		}
+	}
+	return out, p.announced || round >= p.Budget
+}
+
+// Depth returns the node's BFS depth (graph.Inf if not discovered).
+func (p *BFSTreeProc) Depth() int64 { return p.depth }
+
+// Parent returns the node's BFS parent (-1 for the root and for nodes
+// the flood did not reach within the budget).
+func (p *BFSTreeProc) Parent() int { return p.parent }
+
+// RunBFSTree floods a BFS tree from root for at most budget rounds and
+// returns the parent pointers (-1 for the root and unreached nodes), the
+// hop depths (graph.Inf for unreached nodes), and the exact simulation
+// statistics.
+func RunBFSTree(g *graph.Graph, root, budget int, opts congest.Options) ([]int, []int64, congest.Stats, error) {
+	if root < 0 || root >= g.N() {
+		return nil, nil, congest.Stats{}, fmt.Errorf("dist: BFS root %d out of range [0,%d)", root, g.N())
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	nodes := make([]*BFSTreeProc, g.N())
+	procs := make([]congest.Proc, g.N())
+	for i := range procs {
+		nodes[i] = &BFSTreeProc{Root: root, Budget: budget}
+		procs[i] = nodes[i]
+	}
+	sim, err := congest.NewSim(g, procs, opts)
+	if err != nil {
+		return nil, nil, congest.Stats{}, err
+	}
+	stats, err := sim.Run()
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	parent := make([]int, g.N())
+	depth := make([]int64, g.N())
+	for v, p := range nodes {
+		parent[v] = p.Parent()
+		depth[v] = p.Depth()
+	}
+	return parent, depth, stats, nil
+}

@@ -1,0 +1,347 @@
+// Skeleton-graph machinery of Lemmas 3.2/3.3: from a sampled vertex set
+// S_i, build the overlay the distributed algorithm would assemble
+// (rounded ℓ-hop distances between skeleton nodes, sparsified to the k
+// shortest overlay edges per node, Algorithm 4) and answer approximate
+// eccentricity queries ẽ_{G,w,i}(s) through it (Algorithm 5 + the local
+// combine of Lemma 3.5).
+//
+// The centralized build computes exactly what the executable procedures
+// (RunAlg1/RunAlg3) converge to; the round cost of assembling it is
+// charged by internal/core's cost model, whose schedules the parity
+// tests check against the executable procedures.
+
+package dist
+
+import (
+	"sort"
+
+	"qcongest/internal/graph"
+)
+
+// Skeleton is the Lemma 3.2 overlay for one sampled set S_i, ready to
+// answer ẽ_{G,w,i}(·) queries. All distance values are integer
+// numerators over the common denominator DenOut; a numerator of
+// graph.Inf marks a pair unreachable within the hop budget.
+type Skeleton struct {
+	// G is the underlying network.
+	G *graph.Graph
+	// Sources is the skeleton node set S_i (in the order given).
+	Sources []int
+	// L is the hop budget ℓ of the bounded-hop distance computations.
+	L int
+	// K is the Algorithm 4 sparsification parameter: each skeleton node
+	// keeps its k shortest overlay edges.
+	K int
+	// Eps is the rounding parameter ε = 1/T.
+	Eps Eps
+	// DenOut is the common denominator 2·T·ℓ of every numerator this
+	// skeleton returns.
+	DenOut int64
+
+	idx     map[int]int     // source vertex -> index in Sources
+	rows    map[int][]int64 // d̃^ℓ(v, ·) numerators, keyed by vertex
+	overlay [][]int64       // b×b overlay distances (numerators)
+	ecc     map[int]int64   // memoized ẽ numerators
+}
+
+// BuildSkeleton computes the Lemma 3.2 skeleton of the set s in g with
+// hop budget l, sparsification parameter k, and rounding parameter eps.
+// Degenerate parameters are clamped to 1 so every input is runnable.
+//
+// For each skeleton node the (1+ε)-rounded ℓ-hop distances to all of V
+// are computed (the numerators internal/core's memory note refers to:
+// O(|S_i|·n) of them), then the overlay is assembled and sparsified to
+// the k shortest edges per node, and overlay distances between skeleton
+// nodes are taken with the Algorithm 5 hop bound ⌈4b/k⌉.
+func BuildSkeleton(g *graph.Graph, s []int, l, k int, eps Eps) *Skeleton {
+	if l < 1 {
+		l = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	if eps.T < 1 {
+		eps.T = 1
+	}
+	sk := &Skeleton{
+		G:       g,
+		Sources: s,
+		L:       l,
+		K:       k,
+		Eps:     eps,
+		DenOut:  eps.Den(l),
+		idx:     make(map[int]int, len(s)),
+		rows:    make(map[int][]int64, len(s)),
+		ecc:     make(map[int]int64),
+	}
+	for j, v := range s {
+		if _, dup := sk.idx[v]; !dup {
+			sk.idx[v] = j
+		}
+		if _, ok := sk.rows[v]; !ok {
+			sk.rows[v] = roundedBoundedHopDist(g, v, l, eps)
+		}
+	}
+	sk.buildOverlay()
+	return sk
+}
+
+// roundedBoundedHopDist returns the numerators of the (1+ε)-approximate
+// ℓ-hop distances d̃^ℓ(src, ·) over denominator eps.Den(l): the min over
+// rounding scales i = 0..i_max of the ℓ-hop Bellman-Ford distance under
+// weights ⌈w·2Tℓ/2^i⌉, rescaled by 2^i. Rounding up makes every value
+// the length of a real path (never an undershoot); for a pair at true
+// distance d with a min-weight path of at most ℓ hops, the scale with
+// 2^(i-1) < d <= 2^i yields a value of at most (1+ε)·d.
+func roundedBoundedHopDist(g *graph.Graph, src, l int, eps Eps) []int64 {
+	n := g.N()
+	den := eps.Den(l)
+	cap64 := (1 + 2*eps.T) * int64(l) // prune bound: scale-i values above it belong to larger scales
+	imax := IMax(n, maxW(g), eps)
+
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = graph.Inf
+	}
+	cur := make([]int64, n)
+	next := make([]int64, n)
+	for i := 0; i <= imax; i++ {
+		scale := int64(1) << uint(i)
+		for v := range cur {
+			cur[v] = graph.Inf
+		}
+		cur[src] = 0
+		for hop := 0; hop < l; hop++ {
+			copy(next, cur)
+			changed := false
+			for _, e := range g.Edges() {
+				w := ceilDiv(e.W*den, scale)
+				if cur[e.U] != graph.Inf && cur[e.U]+w < next[e.V] && cur[e.U]+w <= cap64 {
+					next[e.V] = cur[e.U] + w
+					changed = true
+				}
+				if cur[e.V] != graph.Inf && cur[e.V]+w < next[e.U] && cur[e.V]+w <= cap64 {
+					next[e.U] = cur[e.V] + w
+					changed = true
+				}
+			}
+			cur, next = next, cur
+			if !changed {
+				break
+			}
+		}
+		for v, bh := range cur {
+			if bh == graph.Inf {
+				continue
+			}
+			if scaled := bh * scale; scaled < out[v] {
+				out[v] = scaled
+			}
+		}
+	}
+	return out
+}
+
+// buildOverlay assembles the Algorithm 4 overlay: complete rounded
+// distances between skeleton nodes, sparsified to the union of each
+// node's k shortest edges, then closed under the Algorithm 5 hop bound
+// ⌈4b/k⌉ by Bellman-Ford on the overlay.
+func (sk *Skeleton) buildOverlay() {
+	b := len(sk.Sources)
+	full := make([][]int64, b)
+	for j, v := range sk.Sources {
+		full[j] = make([]int64, b)
+		row := sk.rows[v]
+		for t, u := range sk.Sources {
+			full[j][t] = row[u]
+		}
+	}
+
+	// Keep edge (j,t) if it is among the k shortest of either endpoint.
+	keep := make([][]bool, b)
+	for j := range keep {
+		keep[j] = make([]bool, b)
+	}
+	order := make([]int, b)
+	for j := 0; j < b; j++ {
+		for t := range order {
+			order[t] = t
+		}
+		sort.Slice(order, func(a, c int) bool { return full[j][order[a]] < full[j][order[c]] })
+		kept := 0
+		for _, t := range order {
+			if t == j || full[j][t] == graph.Inf {
+				continue
+			}
+			keep[j][t] = true
+			keep[t][j] = true
+			kept++
+			if kept >= sk.K {
+				break
+			}
+		}
+	}
+
+	// Overlay hop bound ℓ' = ⌈4b/k⌉ (at least 1), per Algorithm 5.
+	lp := (4*b + sk.K - 1) / sk.K
+	if lp < 1 {
+		lp = 1
+	}
+	sk.overlay = make([][]int64, b)
+	cur := make([]int64, b)
+	next := make([]int64, b)
+	for j := 0; j < b; j++ {
+		for t := range cur {
+			cur[t] = graph.Inf
+		}
+		cur[j] = 0
+		for hop := 0; hop < lp; hop++ {
+			copy(next, cur)
+			changed := false
+			for u := 0; u < b; u++ {
+				if cur[u] == graph.Inf {
+					continue
+				}
+				for t := 0; t < b; t++ {
+					if !keep[u][t] {
+						continue
+					}
+					if d := cur[u] + full[u][t]; d < next[t] {
+						next[t] = d
+						changed = true
+					}
+				}
+			}
+			cur, next = next, cur
+			if !changed {
+				break
+			}
+		}
+		sk.overlay[j] = append([]int64(nil), cur...)
+	}
+}
+
+// row returns d̃^ℓ(v, ·), computing and caching it for vertices outside
+// the skeleton (Lemma 3.5 evaluates ẽ at skeleton nodes, but queries at
+// arbitrary vertices are supported for the experiment harness).
+func (sk *Skeleton) row(v int) []int64 {
+	if r, ok := sk.rows[v]; ok {
+		return r
+	}
+	r := roundedBoundedHopDist(sk.G, v, sk.L, sk.Eps)
+	sk.rows[v] = r
+	return r
+}
+
+// ApproxEccentricity returns the numerator of ẽ_{G,w,i}(v) over DenOut:
+// the Lemma 3.3 approximate eccentricity of v through the skeleton,
+// max_u min_t [ d̃_H(v, t) + d̃^ℓ(t, u) ] with t ranging over the
+// skeleton nodes and v itself. It never undershoots the true
+// eccentricity e_{G,w}(v); whenever every min-weight path from v has at
+// most ℓ hops it is at most (1+ε)·e_{G,w}(v)·DenOut. A value of
+// graph.Inf marks some vertex unreachable within the hop budget.
+func (sk *Skeleton) ApproxEccentricity(v int) int64 {
+	if e, ok := sk.ecc[v]; ok {
+		return e
+	}
+	rowV := sk.row(v)
+	b := len(sk.Sources)
+
+	// entry[t]: best known distance from v to skeleton node t — directly
+	// (one rounded ℓ-hop leg) or through the sparsified overlay.
+	entry := make([]int64, b)
+	if j, isSource := sk.idx[v]; isSource {
+		copy(entry, sk.overlay[j])
+		for t, u := range sk.Sources {
+			if d := rowV[u]; d < entry[t] {
+				entry[t] = d
+			}
+		}
+	} else {
+		for t, u := range sk.Sources {
+			entry[t] = rowV[u]
+		}
+		for j, u := range sk.Sources {
+			if rowV[u] == graph.Inf {
+				continue
+			}
+			for t := 0; t < b; t++ {
+				if sk.overlay[j][t] == graph.Inf {
+					continue
+				}
+				if d := rowV[u] + sk.overlay[j][t]; d < entry[t] {
+					entry[t] = d
+				}
+			}
+		}
+	}
+
+	var ecc int64
+	for u := 0; u < sk.G.N(); u++ {
+		best := rowV[u]
+		for t, tv := range sk.Sources {
+			if entry[t] == graph.Inf {
+				continue
+			}
+			rt := sk.rows[tv]
+			if rt[u] == graph.Inf {
+				continue
+			}
+			if d := entry[t] + rt[u]; d < best {
+				best = d
+			}
+		}
+		if best > ecc {
+			ecc = best
+		}
+		if ecc >= graph.Inf {
+			ecc = graph.Inf
+			break
+		}
+	}
+	sk.ecc[v] = ecc
+	return ecc
+}
+
+// TopMass returns the fraction of skeleton nodes s in S_i whose
+// approximate eccentricity numerator is at least num: the mass the outer
+// Lemma 3.1 search is promised on good indices (Lemma 3.4's Θ(r/n) comes
+// from this quantity aggregated over the sampled sets).
+func TopMass(sk *Skeleton, num int64) float64 {
+	if len(sk.Sources) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, s := range sk.Sources {
+		if sk.ApproxEccentricity(s) >= num {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(sk.Sources))
+}
+
+// BottomMass is the radius-side counterpart of TopMass: the fraction of
+// skeleton nodes whose approximate eccentricity numerator is at most
+// num. For any threshold, TopMass(sk, t) + BottomMass(sk, t) >= 1, with
+// equality exactly when no node sits at the threshold.
+func BottomMass(sk *Skeleton, num int64) float64 {
+	if len(sk.Sources) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, s := range sk.Sources {
+		if sk.ApproxEccentricity(s) <= num {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(sk.Sources))
+}
+
+// maxW returns the maximum edge weight, at least 1.
+func maxW(g *graph.Graph) int64 {
+	w := g.MaxWeight()
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
