@@ -277,6 +277,21 @@ func BenchmarkFormulas(b *testing.B) {
 	}
 }
 
+// --- E14: spine-leaf DCN fabric (constant-D regime) -----------------------
+
+func BenchmarkSimSpineLeafE14(b *testing.B) {
+	cfgs := []exp.SpineLeafConfig{{Spines: 2, Leaves: 4, Hosts: 6}}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		pts, err := exp.SpineLeafSweep(cfgs, 8, int64(i), 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(pts[0].QuantumRounds) / float64(pts[0].ClassicalRounds)
+	}
+	b.ReportMetric(ratio, "q/c-ratio")
+}
+
 // --- Ablations: the design choices of Eq. (1) --------------------------------
 
 func BenchmarkAblationR(b *testing.B) {

@@ -4,6 +4,14 @@
 //	-exp=scaling-d   E3: rounds vs D at fixed n (slope ≈ 0.3)
 //	-exp=crossover   E4: quantum vs classical rounds across D (cross at n^(1/3))
 //	-exp=quality     E5: approximation quality vs the (1+ε)² bound
+//	-exp=spineleaf   E14: quantum vs classical on leaf-spine DCN fabrics
+//
+// Two engine knobs apply across experiments: -workers shards every
+// simulation's round loop (every scenario, via congest.DefaultWorkers;
+// 0 = sequential) and -par bounds how many simulations a spineleaf
+// batch keeps in flight (the other drivers batch at GOMAXPROCS).
+// Neither changes any reported number — the engine is bit-deterministic
+// across worker counts.
 package main
 
 import (
@@ -14,22 +22,35 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"qcongest/internal/congest"
 	"qcongest/internal/core"
 	"qcongest/internal/exp"
 )
 
 func main() {
 	var (
-		which  = flag.String("exp", "scaling-n", "experiment: scaling-n, scaling-d, crossover, quality")
-		ns     = flag.String("ns", "64,96,128,192,256", "comma-separated n values (scaling-n)")
-		ds     = flag.String("ds", "4,6,8,12,16,24", "comma-separated D values (scaling-d, crossover)")
-		n      = flag.Int("n", 128, "fixed n (scaling-d, crossover, quality)")
-		d      = flag.Int("d", 6, "fixed D (scaling-n)")
-		trials = flag.Int("trials", 8, "trials (quality)")
-		mode   = flag.String("mode", "diameter", "diameter or radius")
-		seed   = flag.Int64("seed", 1, "random seed")
+		which   = flag.String("exp", "scaling-n", "experiment: scaling-n, scaling-d, crossover, quality, spineleaf")
+		ns      = flag.String("ns", "64,96,128,192,256", "comma-separated n values (scaling-n)")
+		ds      = flag.String("ds", "4,6,8,12,16,24", "comma-separated D values (scaling-d, crossover)")
+		n       = flag.Int("n", 128, "fixed n (scaling-d, crossover, quality)")
+		d       = flag.Int("d", 6, "fixed D (scaling-n)")
+		trials  = flag.Int("trials", 8, "trials (quality)")
+		mode    = flag.String("mode", "diameter", "diameter or radius")
+		seed    = flag.Int64("seed", 1, "random seed")
+		spines  = flag.Int("spines", 4, "spine switches (spineleaf)")
+		leaves  = flag.String("leaves", "4,8,16", "comma-separated leaf counts (spineleaf)")
+		hosts   = flag.Int("hosts", 8, "hosts per leaf (spineleaf)")
+		maxw    = flag.Int64("maxw", 16, "max random edge weight (spineleaf)")
+		workers = flag.Int("workers", 0, "engine worker shards per simulation, all experiments (0 = sequential)")
+		par     = flag.Int("par", 0, "concurrent simulations in a spineleaf batch (0 = GOMAXPROCS; other sweeps batch at GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	// Shard every simulation this process runs. Set once, before any
+	// simulation is constructed (see congest.DefaultWorkers). The
+	// spineleaf driver additionally receives the same value explicitly
+	// for its batched classical runs.
+	congest.DefaultWorkers = *workers
 
 	m := core.DiameterMode
 	if *mode == "radius" {
@@ -93,6 +114,23 @@ func main() {
 			fmt.Fprintf(tw, "%s\t%d\t%.4f\t%v\n", p.Label, p.Rounds, p.Ratio, p.Undershoot)
 		}
 		tw.Flush()
+
+	case "spineleaf":
+		var cfgs []exp.SpineLeafConfig
+		for _, l := range parseInts(*leaves) {
+			cfgs = append(cfgs, exp.SpineLeafConfig{Spines: *spines, Leaves: l, Hosts: *hosts})
+		}
+		pts, err := exp.SpineLeafSweep(cfgs, *maxw, *seed, *workers, *par)
+		die(err)
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "spines\tleaves\thosts\tn\tD\tquantum rounds\tclassical rounds\tratio\tn^0.9·D^0.3")
+		for _, p := range pts {
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.2f\t%.0f\n",
+				p.Spines, p.Leaves, p.Hosts, p.N, p.D, p.QuantumRounds, p.ClassicalRounds,
+				float64(p.QuantumRounds)/float64(p.ClassicalRounds), p.TheoremQ)
+		}
+		tw.Flush()
+		fmt.Printf("\nconstant-D fabric: the low-D regime where the n^0.9·D^0.3 bound is farthest below Θ(n)\n")
 
 	case "quality":
 		rep, err := exp.Quality(*trials, *n, m, *seed)

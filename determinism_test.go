@@ -1,0 +1,193 @@
+// Determinism regression suite for the parallel CONGEST engine: the
+// engine contract (DESIGN.md §2.3) is that Stats and the ordered Trace
+// sequence are byte-identical across Options.Workers values. Part A pins
+// the contract on every congest.Proc in the repository with raw trace
+// logs; Part B re-runs the E1–E13 experiment drivers under the parallel
+// engine (via congest.DefaultWorkers) and asserts their full reports are
+// unchanged. CI runs this file with -count=3 under the `determinism` job.
+package qcongest_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"qcongest/internal/baseline"
+	"qcongest/internal/congest"
+	"qcongest/internal/core"
+	"qcongest/internal/dist"
+	"qcongest/internal/exp"
+	"qcongest/internal/graph"
+	"qcongest/internal/qsim"
+)
+
+type traceEntry struct {
+	Round, From, To int
+	Msg             congest.Message
+}
+
+// chatterProc exercises the engine's densest path: every node sends one
+// message per incident edge per round, payload derived from its private
+// PRNG, for a fixed number of rounds.
+type chatterProc struct {
+	rounds int
+	env    *congest.Env
+}
+
+func (p *chatterProc) Init(env *congest.Env) { p.env = env }
+
+func (p *chatterProc) Step(round int, inbox []congest.Received) ([]congest.Send, bool) {
+	if round >= p.rounds {
+		return nil, true
+	}
+	out := make([]congest.Send, 0, len(p.env.Neighbors))
+	for _, a := range p.env.Neighbors {
+		out = append(out, congest.Send{To: a.To, Msg: congest.Message{
+			Kind: 9, A: int64(round), B: p.env.Rand.Int63(), C: int64(len(inbox)),
+		}})
+	}
+	return out, round == p.rounds-1
+}
+
+// workerCounts are the engine configurations the satellite task pins:
+// sequential, small shard pool, and GOMAXPROCS.
+func workerCounts() []int {
+	return []int{1, 4, runtime.GOMAXPROCS(0)}
+}
+
+func TestDeterminismEngineWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	gRand := graph.RandomConnected(60, 180, rng)
+	gW := graph.RandomWeights(gRand, 9, rng)
+	gFabric := graph.RandomWeights(graph.SpineLeaf(3, 5, 4, 2, 1), 7, rng)
+	gBarbell := graph.Barbell(6, 5)
+	eps := dist.EpsForN(gW.N())
+	delays := dist.SampleDelays(3, gW.N(), rand.New(rand.NewSource(7)))
+
+	workloads := []struct {
+		name string
+		run  func(opts congest.Options) (congest.Stats, error)
+	}{
+		{"bfs-tree/random", func(opts congest.Options) (congest.Stats, error) {
+			_, _, stats, err := dist.RunBFSTree(gRand, 0, gRand.N(), opts)
+			return stats, err
+		}},
+		{"alg1/weighted", func(opts congest.Options) (congest.Stats, error) {
+			_, stats, err := dist.RunAlg1(gW, 1, 8, eps, opts)
+			return stats, err
+		}},
+		{"alg3/weighted", func(opts congest.Options) (congest.Stats, error) {
+			_, stats, err := dist.RunAlg3(gW, []int{0, 7, 19}, delays, 6, eps, opts)
+			return stats, err
+		}},
+		{"apsp/barbell", func(opts congest.Options) (congest.Stats, error) {
+			_, stats, err := baseline.RunAPSP(gBarbell, 0, opts)
+			return stats, err
+		}},
+		{"chatter/spine-leaf", func(opts congest.Options) (congest.Stats, error) {
+			opts.MaxRounds = 34
+			opts.Seed = 5
+			return congest.RunProcs(gFabric, func(int) congest.Proc { return &chatterProc{rounds: 32} }, opts)
+		}},
+	}
+
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			capture := func(workers int) (congest.Stats, []traceEntry, error) {
+				var log []traceEntry
+				opts := congest.Options{
+					Workers: workers,
+					Trace: func(round, from, to int, msg congest.Message) {
+						log = append(log, traceEntry{round, from, to, msg})
+					},
+				}
+				stats, err := w.run(opts)
+				return stats, log, err
+			}
+			refStats, refLog, refErr := capture(1)
+			if refErr != nil {
+				t.Fatalf("sequential run failed: %v", refErr)
+			}
+			if len(refLog) == 0 {
+				t.Fatalf("workload produced no traffic; not a useful determinism probe")
+			}
+			for _, workers := range workerCounts()[1:] {
+				stats, log, err := capture(workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if stats != refStats {
+					t.Errorf("workers=%d: stats %+v != sequential %+v", workers, stats, refStats)
+				}
+				if !reflect.DeepEqual(log, refLog) {
+					t.Errorf("workers=%d: trace log diverged (%d vs %d entries)", workers, len(log), len(refLog))
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismExperimentDrivers runs each E1–E13 driver under the
+// sequential and parallel engines by flipping congest.DefaultWorkers
+// (E2/E3/E5/E6–E9/E12/E13 exercise no simulator rounds — their inclusion
+// pins exactly that) and asserts the full reports are identical.
+func TestDeterminismExperimentDrivers(t *testing.T) {
+	drivers := []struct {
+		name string
+		run  func() (interface{}, error)
+	}{
+		{"E1/table1", func() (interface{}, error) { return exp.MeasuredTable1(40, 3) }},
+		{"E2/scaling-n", func() (interface{}, error) {
+			pts, fit, err := exp.ScalingInN([]int{16, 24}, 4, core.DiameterMode, 3)
+			return []interface{}{pts, fit}, err
+		}},
+		{"E3/scaling-d", func() (interface{}, error) {
+			pts, fit, err := exp.ScalingInD(24, []int{4, 6}, core.DiameterMode, 3)
+			return []interface{}{pts, fit}, err
+		}},
+		{"E4/crossover", func() (interface{}, error) { return exp.Crossover(32, []int{4, 8}, 3) }},
+		{"E5/quality", func() (interface{}, error) { return exp.Quality(2, 24, core.DiameterMode, 3) }},
+		{"E6/figure1", func() (interface{}, error) { return exp.Figure1Suite([]int{2, 3}, 3), nil }},
+		{"E7/diameter-gap", func() (interface{}, error) { return exp.GapExperiment(2, false, 2, 3) }},
+		{"E8/table2", func() (interface{}, error) {
+			vio, checked, err := exp.Table2Experiment(2, 1, 3)
+			return []int{vio, checked}, err
+		}},
+		{"E9/radius-gap", func() (interface{}, error) { return exp.GapExperiment(2, true, 2, 3) }},
+		{"E10/simulation", func() (interface{}, error) { return exp.SimulationExperiment(4, 3) }},
+		{"E11/reduction", func() (interface{}, error) { return exp.ReductionExperiment(2, 1, 3) }},
+		{"E12/grover", func() (interface{}, error) {
+			rng := rand.New(rand.NewSource(3))
+			return qsim.BBHT(qsim.Sampled, 1<<10, func(x uint64) bool { return x == 77 }, rng), nil
+		}},
+		{"E13/formulas", func() (interface{}, error) { return exp.FormulaExperiment(4) }},
+		{"E14/spineleaf", func() (interface{}, error) {
+			return exp.SpineLeafSweep([]exp.SpineLeafConfig{{Spines: 2, Leaves: 3, Hosts: 3}}, 4, 3, 0, 0)
+		}},
+	}
+
+	defer func() { congest.DefaultWorkers = 0 }()
+	for _, d := range drivers {
+		t.Run(d.name, func(t *testing.T) {
+			congest.DefaultWorkers = 0
+			ref, err := d.run()
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			for _, workers := range workerCounts() {
+				congest.DefaultWorkers = workers
+				got, err := d.run()
+				congest.DefaultWorkers = 0
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !reflect.DeepEqual(got, ref) {
+					t.Errorf("workers=%d: report diverged from sequential run:\n got %s\nwant %s",
+						workers, fmt.Sprintf("%+v", got), fmt.Sprintf("%+v", ref))
+				}
+			}
+		})
+	}
+}

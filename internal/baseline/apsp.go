@@ -16,6 +16,8 @@
 package baseline
 
 import (
+	"fmt"
+
 	"qcongest/internal/congest"
 	"qcongest/internal/graph"
 )
@@ -87,12 +89,7 @@ func (p *apspProc) weightTo(from int) int64 {
 // distance matrix plus the measured round statistics. The budget bounds
 // pathological schedules; quiescence normally ends the run much earlier.
 func RunAPSP(g *graph.Graph, budget int, opts congest.Options) ([][]int64, congest.Stats, error) {
-	if budget <= 0 {
-		budget = 8 * g.N() * g.N()
-	}
-	if opts.MaxRounds == 0 {
-		opts.MaxRounds = budget + 8
-	}
+	budget, opts = apspDefaults(g.N(), budget, opts)
 	nodes := make([]*apspProc, g.N())
 	procs := make([]congest.Proc, g.N())
 	for i := range procs {
@@ -126,6 +123,24 @@ func ClassicalDiameter(g *graph.Graph, opts congest.Options) (diam, radius int64
 	if err != nil {
 		return 0, 0, stats, err
 	}
+	diam, radius = diamRadius(d)
+	return diam, radius, stats, nil
+}
+
+// apspDefaults is the single source of the APSP run defaults: RunAPSP and
+// ClassicalDiameterBatch must hit the same round limits or the batch's
+// "identical to ClassicalDiameter" guarantee silently breaks.
+func apspDefaults(n, budget int, opts congest.Options) (int, congest.Options) {
+	if budget <= 0 {
+		budget = 8 * n * n
+	}
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = budget + 8
+	}
+	return budget, opts
+}
+
+func diamRadius(d [][]int64) (diam, radius int64) {
 	radius = graph.Inf
 	for v := range d {
 		ecc := int64(0)
@@ -141,5 +156,46 @@ func ClassicalDiameter(g *graph.Graph, opts congest.Options) (diam, radius int64
 			radius = ecc
 		}
 	}
-	return diam, radius, stats, nil
+	return diam, radius
+}
+
+// ClassicalDiameterBatch runs the APSP baseline over many networks
+// concurrently through congest.RunBatch (at most `parallelism` sims in
+// flight; <= 0 selects GOMAXPROCS). Per-network results are identical to
+// ClassicalDiameter — each simulation is independent and seeded from its
+// own Options — and are returned in input order. The first simulation
+// error aborts the batch report.
+func ClassicalDiameterBatch(gs []*graph.Graph, opts congest.Options, parallelism int) (diams, radii []int64, stats []congest.Stats, err error) {
+	jobs := make([]congest.BatchJob, len(gs))
+	nodes := make([][]*apspProc, len(gs))
+	for i, g := range gs {
+		budget, jobOpts := apspDefaults(g.N(), 0, opts)
+		nodes[i] = make([]*apspProc, g.N())
+		procs := nodes[i]
+		jobs[i] = congest.BatchJob{
+			G: g,
+			Mk: func(id int) congest.Proc {
+				p := &apspProc{budget: budget}
+				procs[id] = p
+				return p
+			},
+			Opts: jobOpts,
+		}
+	}
+	results := congest.RunBatch(jobs, parallelism)
+	diams = make([]int64, len(gs))
+	radii = make([]int64, len(gs))
+	stats = make([]congest.Stats, len(gs))
+	for i, res := range results {
+		stats[i] = res.Stats
+		if res.Err != nil {
+			return nil, nil, stats, fmt.Errorf("baseline: batch APSP on graph %d: %w", i, res.Err)
+		}
+		d := make([][]int64, len(nodes[i]))
+		for v, p := range nodes[i] {
+			d[v] = p.dist
+		}
+		diams[i], radii[i] = diamRadius(d)
+	}
+	return diams, radii, stats, nil
 }

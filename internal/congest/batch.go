@@ -1,0 +1,102 @@
+package congest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"qcongest/internal/graph"
+)
+
+// BatchJob is one simulation in a RunBatch call: a network, a per-node
+// procedure factory, and run options. Procs created by Mk are visible to
+// the caller (close over them to harvest node outputs after the batch).
+type BatchJob struct {
+	G    *graph.Graph
+	Mk   func(id int) Proc
+	Opts Options
+}
+
+// BatchResult pairs one job's statistics with its error.
+type BatchResult struct {
+	Stats Stats
+	Err   error
+}
+
+// RunBatch executes many independent simulations concurrently — the
+// embarrassingly-parallel shape of the experiment sweeps (many seeds,
+// many graphs). At most `parallelism` simulations are in flight at once
+// (<= 0 selects GOMAXPROCS). Results are returned in job order, and each
+// job runs the exact engine Run uses — inbox and load buffers are drawn
+// from a shared sync.Pool, so a sweep's allocation cost is amortized
+// across runs — which makes every per-job Stats and Trace sequence
+// identical to a standalone Run of that job.
+//
+// Trace caution: the single-goroutine guarantee of Options.Trace holds
+// per job, but concurrent jobs invoke their Trace callbacks from
+// different goroutines at once. Jobs sharing one closure over mutable
+// state must either synchronize it or run with parallelism 1; prefer a
+// per-job closure over per-job state.
+func RunBatch(jobs []BatchJob, parallelism int) []BatchResult {
+	results := make([]BatchResult, len(jobs))
+	ForEach(len(jobs), parallelism, func(i int) {
+		results[i] = runJob(jobs[i])
+	})
+	return results
+}
+
+// ForEach invokes f(i) for every i in [0, k) across a bounded pool of
+// goroutines (parallelism <= 0 selects GOMAXPROCS; 1 degrades to a plain
+// loop). It is the scheduling primitive RunBatch and the experiment
+// drivers share: f must confine itself to its own index's state, and
+// ForEach returns only after every invocation completed.
+func ForEach(k, parallelism int, f func(i int)) {
+	if k <= 0 {
+		return
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > k {
+		parallelism = k
+	}
+	if parallelism == 1 {
+		for i := 0; i < k; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= k {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func runJob(j BatchJob) BatchResult {
+	if j.G == nil || j.Mk == nil {
+		return BatchResult{Err: fmt.Errorf("congest: batch job needs a graph and a proc factory")}
+	}
+	procs := make([]Proc, j.G.N())
+	for id := range procs {
+		procs[id] = j.Mk(id)
+	}
+	sim, err := NewSim(j.G, procs, j.Opts)
+	if err != nil {
+		return BatchResult{Err: err}
+	}
+	stats, err := sim.Run()
+	return BatchResult{Stats: stats, Err: err}
+}

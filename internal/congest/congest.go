@@ -9,13 +9,20 @@
 //
 // Round complexity is a combinatorial property of the schedule, so the
 // simulator reproduces the paper's cost measure exactly; wall-clock time is
-// irrelevant to the model.
+// irrelevant to the model. The engine is therefore free to execute as fast
+// as the hardware allows: node steps are sharded across a worker pool
+// (Options.Workers) with a round barrier, and per-shard outboxes are merged
+// in node order, so Stats and every Trace callback sequence are
+// byte-identical to the sequential engine regardless of worker count. See
+// DESIGN.md §2.3 for the determinism contract.
 package congest
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 
 	"qcongest/internal/graph"
 )
@@ -28,7 +35,9 @@ type Message struct {
 	A, B, C, D int64
 }
 
-// Received pairs a message with its sender.
+// Received pairs a message with its sender. Inbox slices are reused
+// between rounds: a Proc must copy anything it wants to keep past the
+// Step call that delivered it.
 type Received struct {
 	From int
 	Msg  Message
@@ -55,6 +64,12 @@ type Env struct {
 // previous round) and returns the outbox plus whether this node has
 // produced its final output. A done node keeps receiving Step calls (its
 // links still carry traffic) but typically returns an empty outbox.
+//
+// When Options.Workers > 1, Step calls for different nodes may run
+// concurrently within a round. A Proc must therefore be goroutine-confined:
+// it may touch its own state, its Env (including Env.Rand, which is
+// per-node), and read-only shared inputs, but not mutable state shared
+// with other nodes' procs.
 type Proc interface {
 	Init(env *Env)
 	Step(round int, inbox []Received) (outbox []Send, done bool)
@@ -81,6 +96,15 @@ var ErrCongestion = errors.New("congest: per-edge bandwidth exceeded")
 // finish.
 var ErrRoundLimit = errors.New("congest: round limit exceeded")
 
+// DefaultWorkers is the worker count used when Options.Workers is 0. It
+// exists for process-wide front-ends that cannot thread a knob through
+// every experiment driver: the determinism regression suite flips every
+// simulation in the repository onto the parallel engine with it, and
+// cmd/sweep maps its -workers flag onto it. Set it once, before any
+// simulation is constructed — the read in withDefaults is
+// unsynchronized. Library callers should set Options.Workers explicitly.
+var DefaultWorkers int
+
 // Options configure a run.
 type Options struct {
 	// Capacity is the number of messages each directed edge can carry per
@@ -94,7 +118,17 @@ type Options struct {
 	// Trace, when set, observes every delivered message. Round is the
 	// Step index during which the message was sent. Used by the Server-
 	// model simulation (Lemma 4.1) to count party-crossing traffic.
+	// Within one run, Trace is always invoked from a single goroutine,
+	// in the same deterministic order regardless of Workers: messages
+	// are observed in sender-node order, and within one sender in outbox
+	// order. (Across concurrent RunBatch jobs each run invokes its own
+	// Trace concurrently with the others — see RunBatch.)
 	Trace func(round, from, to int, msg Message)
+	// Workers shards the per-round Step loop across this many goroutines.
+	// 0 uses DefaultWorkers (normally sequential); 1 is sequential.
+	// Stats and Trace sequences are identical for every value. Procs must
+	// be goroutine-confined when Workers > 1 (see Proc).
+	Workers int
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -104,7 +138,167 @@ func (o Options) withDefaults(n int) Options {
 	if o.MaxRounds <= 0 {
 		o.MaxRounds = 4*n*n + 64
 	}
+	if o.Workers == 0 {
+		o.Workers = DefaultWorkers
+	}
+	if o.Workers > n {
+		o.Workers = n
+	}
 	return o
+}
+
+// lazySource defers the expensive 607-word rngSource seeding until a
+// node actually draws randomness: most procs never touch Env.Rand, and
+// eager per-node seeding dominated the engine profile at n ≥ 512. The
+// wrapped source is exactly rand.NewSource(seed), and it is exposed as a
+// Source64 like rngSource itself, so every rand.Rand method stream is
+// bit-identical to an eagerly seeded generator.
+type lazySource struct {
+	seed int64
+	src  rand.Source64
+}
+
+func (s *lazySource) fill() rand.Source64 {
+	if s.src == nil {
+		s.src = rand.NewSource(s.seed).(rand.Source64)
+	}
+	return s.src
+}
+
+func (s *lazySource) Int63() int64    { return s.fill().Int63() }
+func (s *lazySource) Uint64() uint64  { return s.fill().Uint64() }
+func (s *lazySource) Seed(seed int64) { s.src = rand.NewSource(seed).(rand.Source64) }
+
+// csr is a flat, CSR-indexed view of the network's directed arcs: node
+// i's arcs occupy positions start[i]..start[i+1] of `to`, sorted by
+// destination, so a send (i -> v) resolves to a dense arc slot by binary
+// search instead of a map lookup. Parallel arcs to the same destination
+// share the slot of their first sorted occurrence, matching the
+// per-(from,to) bandwidth accounting of the model (parallel edges share
+// one logical channel, as the previous map-keyed engine enforced).
+type csr struct {
+	start []int32
+	to    []int32
+}
+
+func buildCSR(g *graph.Graph) csr {
+	n := g.N()
+	c := csr{start: make([]int32, n+1)}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += g.Degree(i)
+	}
+	c.to = make([]int32, 0, total)
+	for i := 0; i < n; i++ {
+		lo := len(c.to)
+		for _, a := range g.Neighbors(i) {
+			c.to = append(c.to, int32(a.To))
+		}
+		seg := c.to[lo:]
+		sort.Slice(seg, func(a, b int) bool { return seg[a] < seg[b] })
+		c.start[i+1] = int32(len(c.to))
+	}
+	return c
+}
+
+// arc returns the dense slot of the directed channel from -> to, or -1 if
+// the nodes are not adjacent. Parallel arcs resolve to one shared slot.
+func (c *csr) arc(from, to int) int32 {
+	lo, hi := c.start[from], c.start[from+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.to[mid] < int32(to) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < c.start[from+1] && c.to[lo] == int32(to) {
+		return lo
+	}
+	return -1
+}
+
+// simBuffers is the per-run scratch state. Buffers are recycled through a
+// sync.Pool so batched sweeps (RunBatch) do not re-allocate inboxes and
+// load tables per run. Invariant: edgeLoad is all-zero whenever the
+// buffer sits in the pool (reset via the dirty list, never a full clear).
+type simBuffers struct {
+	inboxes     [][]Received
+	nextInboxes [][]Received
+	done        []bool
+	edgeLoad    []int32
+	dirty       []int32
+	outs        [][]Send // parallel mode: per-node outboxes awaiting merge
+	dones       []bool
+}
+
+var bufPool sync.Pool
+
+func getBuffers(n, arcs int) *simBuffers {
+	b, _ := bufPool.Get().(*simBuffers)
+	if b == nil {
+		b = &simBuffers{}
+	}
+	b.inboxes = resizeInboxes(b.inboxes, n)
+	b.nextInboxes = resizeInboxes(b.nextInboxes, n)
+	b.done = resizeBools(b.done, n)
+	b.dones = resizeBools(b.dones, n)
+	if cap(b.outs) < n {
+		b.outs = make([][]Send, n)
+	} else {
+		b.outs = b.outs[:n]
+	}
+	if cap(b.edgeLoad) < arcs {
+		b.edgeLoad = make([]int32, arcs)
+	} else {
+		b.edgeLoad = b.edgeLoad[:arcs]
+	}
+	b.dirty = b.dirty[:0]
+	return b
+}
+
+// putBuffers re-establishes the zero-load invariant and drops references
+// into caller data (outboxes) before returning the buffer to the pool.
+func putBuffers(b *simBuffers) {
+	b.resetLoads()
+	for i := range b.outs {
+		b.outs[i] = nil
+	}
+	bufPool.Put(b)
+}
+
+func (b *simBuffers) resetLoads() {
+	for _, e := range b.dirty {
+		b.edgeLoad[e] = 0
+	}
+	b.dirty = b.dirty[:0]
+}
+
+func resizeInboxes(s [][]Received, n int) [][]Received {
+	if cap(s) < n {
+		grown := make([][]Received, n)
+		copy(grown, s[:cap(s)])
+		s = grown
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
+}
+
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		s = make([]bool, n)
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = false
+	}
+	return s
 }
 
 // Sim is a configured simulation instance. Construct with NewSim, then Run.
@@ -112,6 +306,7 @@ type Sim struct {
 	g     *graph.Graph
 	procs []Proc
 	opts  Options
+	edges csr
 }
 
 // NewSim builds a simulator over network g where node i runs procs[i].
@@ -119,7 +314,15 @@ func NewSim(g *graph.Graph, procs []Proc, opts Options) (*Sim, error) {
 	if len(procs) != g.N() {
 		return nil, fmt.Errorf("congest: %d procs for %d nodes", len(procs), g.N())
 	}
-	return &Sim{g: g, procs: procs, opts: opts.withDefaults(g.N())}, nil
+	return &Sim{g: g, procs: procs, opts: opts.withDefaults(g.N()), edges: buildCSR(g)}, nil
+}
+
+// roundState carries the accounting a single round accumulates while
+// sends are merged in node order.
+type roundState struct {
+	volume    int64
+	anyActive bool
+	doneCount int
 }
 
 // Run executes the simulation until every node reports done, returning the
@@ -131,75 +334,176 @@ func (s *Sim) Run() (Stats, error) {
 			ID:        i,
 			N:         n,
 			Neighbors: s.g.Neighbors(i),
-			Rand:      rand.New(rand.NewSource(s.opts.Seed*1_000_003 + int64(i))),
+			Rand:      rand.New(&lazySource{seed: s.opts.Seed*1_000_003 + int64(i)}),
 		})
 	}
 
-	neighborSet := make([]map[int]bool, n)
-	for i := 0; i < n; i++ {
-		neighborSet[i] = make(map[int]bool, s.g.Degree(i))
-		for _, a := range s.g.Neighbors(i) {
-			neighborSet[i][a.To] = true
-		}
+	bufs := getBuffers(n, len(s.edges.to))
+	defer putBuffers(bufs)
+
+	var pool *stepPool
+	if s.opts.Workers > 1 {
+		pool = s.newStepPool(bufs)
+		defer pool.stop()
 	}
 
-	inboxes := make([][]Received, n)
-	nextInboxes := make([][]Received, n)
-	done := make([]bool, n)
-	doneCount := 0
 	var stats Stats
-	edgeLoad := make(map[[2]int]int)
-
+	rs := roundState{}
 	for round := 0; ; round++ {
 		if round >= s.opts.MaxRounds {
 			return stats, fmt.Errorf("%w: %d rounds (limit %d)", ErrRoundLimit, round, s.opts.MaxRounds)
 		}
-		var volume int64
-		clear(edgeLoad)
-		anyActive := false
-		for i := 0; i < n; i++ {
-			out, d := s.procs[i].Step(round, inboxes[i])
-			if d && !done[i] {
-				done[i] = true
-				doneCount++
-			}
-			for _, snd := range out {
-				if !neighborSet[i][snd.To] {
-					return stats, fmt.Errorf("congest: node %d sent to non-neighbor %d in round %d", i, snd.To, round)
-				}
-				key := [2]int{i, snd.To}
-				edgeLoad[key]++
-				if edgeLoad[key] > s.opts.Capacity {
-					return stats, fmt.Errorf("%w: node %d -> %d sent %d messages in round %d (capacity %d)",
-						ErrCongestion, i, snd.To, edgeLoad[key], round, s.opts.Capacity)
-				}
-				if edgeLoad[key] > stats.MaxEdgeLoad {
-					stats.MaxEdgeLoad = edgeLoad[key]
-				}
-				nextInboxes[snd.To] = append(nextInboxes[snd.To], Received{From: i, Msg: snd.Msg})
-				volume++
-				if s.opts.Trace != nil {
-					s.opts.Trace(round, i, snd.To, snd.Msg)
+		rs.volume = 0
+		rs.anyActive = false
+		if pool != nil {
+			pool.step(round)
+			for i := 0; i < n; i++ {
+				err := s.deliver(round, i, bufs.outs[i], bufs.dones[i], bufs, &rs)
+				bufs.outs[i] = nil
+				if err != nil {
+					s.settleMaxLoad(bufs, &stats)
+					return stats, err
 				}
 			}
-			if len(out) > 0 {
-				anyActive = true
+		} else {
+			for i := 0; i < n; i++ {
+				out, d := s.procs[i].Step(round, bufs.inboxes[i])
+				if err := s.deliver(round, i, out, d, bufs, &rs); err != nil {
+					s.settleMaxLoad(bufs, &stats)
+					return stats, err
+				}
 			}
 		}
-		stats.Messages += volume
-		if volume > stats.BusiestVolume {
-			stats.BusiestVolume = volume
+		s.settleMaxLoad(bufs, &stats)
+		stats.Messages += rs.volume
+		if rs.volume > stats.BusiestVolume {
+			stats.BusiestVolume = rs.volume
 			stats.BusiestRound = round
 		}
-		if doneCount == n && !anyActive {
+		if rs.doneCount == n && !rs.anyActive {
 			stats.Rounds = round + 1
 			return stats, nil
 		}
 		for i := 0; i < n; i++ {
-			inboxes[i] = inboxes[i][:0]
+			bufs.inboxes[i] = bufs.inboxes[i][:0]
 		}
-		inboxes, nextInboxes = nextInboxes, inboxes
+		bufs.inboxes, bufs.nextInboxes = bufs.nextInboxes, bufs.inboxes
+		bufs.resetLoads()
 	}
+}
+
+// stepPool is the persistent worker pool for the sharded Step loop:
+// workers are started once per Run and parked on per-worker round
+// channels, so a long simulation pays channel handoffs per round, not
+// goroutine spawns. Each worker owns a fixed contiguous node range and
+// only writes its own nodes' slots of outs/dones; all accounting happens
+// afterwards in the deterministic node-order merge. step's final done
+// receive is the happens-before edge that lets the merge goroutine read
+// every slot, and the next step's round send is the edge that lets
+// workers see the swapped inboxes.
+type stepPool struct {
+	rounds []chan int
+	done   chan struct{}
+}
+
+func (s *Sim) newStepPool(bufs *simBuffers) *stepPool {
+	n := s.g.N()
+	chunk := (n + s.opts.Workers - 1) / s.opts.Workers
+	p := &stepPool{done: make(chan struct{})}
+	for w := 0; w < s.opts.Workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		ch := make(chan int, 1)
+		p.rounds = append(p.rounds, ch)
+		go func(ch chan int, lo, hi int) {
+			for round := range ch {
+				for i := lo; i < hi; i++ {
+					bufs.outs[i], bufs.dones[i] = s.procs[i].Step(round, bufs.inboxes[i])
+				}
+				p.done <- struct{}{}
+			}
+		}(ch, lo, hi)
+	}
+	return p
+}
+
+// step runs one sharded round and returns after every worker finished.
+func (p *stepPool) step(round int) {
+	for _, ch := range p.rounds {
+		ch <- round
+	}
+	for range p.rounds {
+		<-p.done
+	}
+}
+
+// stop retires the workers. Run defers it before the buffers return to
+// the pool (LIFO), so no worker can touch a recycled buffer.
+func (p *stepPool) stop() {
+	for _, ch := range p.rounds {
+		close(ch)
+	}
+}
+
+// settleMaxLoad folds the round's per-edge loads (the dirty list) into
+// Stats.MaxEdgeLoad. Loads are clamped to Capacity so an aborting
+// over-capacity send is excluded, exactly as the per-message accounting
+// excluded it: a legal load of Capacity was necessarily observed on that
+// same edge one message earlier.
+func (s *Sim) settleMaxLoad(bufs *simBuffers, stats *Stats) {
+	m := int32(stats.MaxEdgeLoad)
+	cap32 := int32(s.opts.Capacity)
+	for _, e := range bufs.dirty {
+		l := bufs.edgeLoad[e]
+		if l > cap32 {
+			l = cap32
+		}
+		if l > m {
+			m = l
+		}
+	}
+	stats.MaxEdgeLoad = int(m)
+}
+
+// deliver merges one node's outbox into the next round's inboxes with
+// exact congestion accounting. It runs on a single goroutine in node
+// order, which is what makes Stats and Trace identical across worker
+// counts.
+func (s *Sim) deliver(round, i int, out []Send, d bool, bufs *simBuffers, rs *roundState) error {
+	if d && !bufs.done[i] {
+		bufs.done[i] = true
+		rs.doneCount++
+	}
+	for _, snd := range out {
+		slot := s.edges.arc(i, snd.To)
+		if slot < 0 {
+			return fmt.Errorf("congest: node %d sent to non-neighbor %d in round %d", i, snd.To, round)
+		}
+		load := bufs.edgeLoad[slot] + 1
+		bufs.edgeLoad[slot] = load
+		if load == 1 {
+			bufs.dirty = append(bufs.dirty, slot)
+		}
+		if int(load) > s.opts.Capacity {
+			return fmt.Errorf("%w: node %d -> %d sent %d messages in round %d (capacity %d)",
+				ErrCongestion, i, snd.To, load, round, s.opts.Capacity)
+		}
+		bufs.nextInboxes[snd.To] = append(bufs.nextInboxes[snd.To], Received{From: i, Msg: snd.Msg})
+		rs.volume++
+		if s.opts.Trace != nil {
+			s.opts.Trace(round, i, snd.To, snd.Msg)
+		}
+	}
+	if len(out) > 0 {
+		rs.anyActive = true
+	}
+	return nil
 }
 
 // RunProcs is a convenience wrapper: it builds one Proc per node via mk and

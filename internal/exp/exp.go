@@ -97,18 +97,23 @@ func workload(n, d int, maxW int64, rng *rand.Rand) *graph.Graph {
 // normalized slope stays 1.0 — it has no such factors to remove, see
 // EXPERIMENTS.md).
 func ScalingInN(ns []int, d int, mode core.Mode, seed int64) ([]ScalingPoint, Fit, error) {
-	var pts []ScalingPoint
-	for _, n := range ns {
+	pts := make([]ScalingPoint, len(ns))
+	err := concurrently(len(ns), func(i int) error {
+		n := ns[i]
 		rng := rand.New(rand.NewSource(seed + int64(n)))
 		g := workload(n, d, 16, rng)
 		res, err := core.Approximate(g, mode, core.Options{Seed: seed + int64(n)})
 		if err != nil {
-			return nil, Fit{}, fmt.Errorf("n=%d: %w", n, err)
+			return fmt.Errorf("n=%d: %w", n, err)
 		}
-		pts = append(pts, ScalingPoint{
+		pts[i] = ScalingPoint{
 			N: n, D: int(res.Params.D),
 			Rounds: res.Rounds, Budget: res.BudgetRounds, Theorem: res.TheoremBound,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, Fit{}, err
 	}
 	xs := make([]float64, len(pts))
 	ys := make([]float64, len(pts))
@@ -122,18 +127,23 @@ func ScalingInN(ns []int, d int, mode core.Mode, seed int64) ([]ScalingPoint, Fi
 // ScalingInD measures rounds as D grows at fixed n (E3); slope ≈ 0.3
 // until the min{·, n} cap bites.
 func ScalingInD(n int, ds []int, mode core.Mode, seed int64) ([]ScalingPoint, Fit, error) {
-	var pts []ScalingPoint
-	for _, d := range ds {
+	pts := make([]ScalingPoint, len(ds))
+	err := concurrently(len(ds), func(i int) error {
+		d := ds[i]
 		rng := rand.New(rand.NewSource(seed + int64(d)))
 		g := workload(n, d, 16, rng)
 		res, err := core.Approximate(g, mode, core.Options{Seed: seed + int64(d)})
 		if err != nil {
-			return nil, Fit{}, fmt.Errorf("d=%d: %w", d, err)
+			return fmt.Errorf("d=%d: %w", d, err)
 		}
-		pts = append(pts, ScalingPoint{
+		pts[i] = ScalingPoint{
 			N: n, D: int(res.Params.D),
 			Rounds: res.Rounds, Budget: res.BudgetRounds, Theorem: res.TheoremBound,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, Fit{}, err
 	}
 	xs := make([]float64, len(pts))
 	ys := make([]float64, len(pts))
@@ -154,27 +164,37 @@ type CrossPoint struct {
 }
 
 // Crossover sweeps D at fixed n and reports where the quantum bound stops
-// beating the classical Θ(n) (E4): at D ≈ n^(1/3) per §1.1.
+// beating the classical Θ(n) (E4): at D ≈ n^(1/3) per §1.1. The classical
+// baselines run as one congest.RunBatch; the quantum points run
+// concurrently per D. Both sides measure the same per-D workload graph.
 func Crossover(n int, ds []int, seed int64) ([]CrossPoint, error) {
-	var pts []CrossPoint
-	for _, d := range ds {
+	gs := make([]*graph.Graph, len(ds))
+	for i, d := range ds {
 		rng := rand.New(rand.NewSource(seed + int64(d)*7))
-		g := workload(n, d, 16, rng)
-		res, err := core.Approximate(g, core.DiameterMode, core.Options{Seed: seed + int64(d)})
-		if err != nil {
-			return nil, err
+		gs[i] = workload(n, d, 16, rng)
+	}
+	_, _, stats, err := baseline.ClassicalDiameterBatch(gs, congest.Options{}, 0)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]CrossPoint, len(ds))
+	err = concurrently(len(ds), func(i int) error {
+		d := ds[i]
+		res, aerr := core.Approximate(gs[i], core.DiameterMode, core.Options{Seed: seed + int64(d)})
+		if aerr != nil {
+			return aerr
 		}
-		_, _, stats, err := baseline.ClassicalDiameter(g, congest.Options{})
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, CrossPoint{
+		pts[i] = CrossPoint{
 			N: n, D: int(res.Params.D),
 			QuantumRounds:   res.Rounds,
-			ClassicalRounds: int64(stats.Rounds),
+			ClassicalRounds: int64(stats[i].Rounds),
 			TheoremQ:        math.Pow(float64(n), 0.9) * math.Pow(float64(res.Params.D), 0.3),
 			CrossoverD:      baseline.CrossoverD(float64(n)),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return pts, nil
 }
@@ -195,8 +215,13 @@ type QualityReport struct {
 // Theorem 1.1 / Lemma 3.4 (E5).
 func Quality(trials, n int, mode core.Mode, seed int64) (QualityReport, error) {
 	rep := QualityReport{Trials: trials, Mode: mode, WorstRatio: 1}
-	var sum float64
-	for trial := 0; trial < trials; trial++ {
+	type trialResult struct {
+		epsBound  float64
+		ratio     float64
+		goodScale bool
+	}
+	results := make([]trialResult, trials)
+	err := concurrently(trials, func(trial int) error {
 		rng := rand.New(rand.NewSource(seed + int64(trial)*101))
 		g := workload(n, 0, 12, rng)
 		var truth int64
@@ -207,20 +232,33 @@ func Quality(trials, n int, mode core.Mode, seed int64) (QualityReport, error) {
 		}
 		res, err := core.Approximate(g, mode, core.Options{Seed: seed + int64(trial)})
 		if err != nil {
-			return rep, err
+			return err
 		}
-		rep.EpsBound = (1 + res.Params.Eps.Float()) * (1 + res.Params.Eps.Float())
-		ratio := res.Estimate / float64(truth)
-		if ratio < 1 {
+		eps := res.Params.Eps.Float()
+		results[trial] = trialResult{
+			epsBound:  (1 + eps) * (1 + eps),
+			ratio:     res.Estimate / float64(truth),
+			goodScale: res.GoodScale,
+		}
+		return nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	// Reduce in trial order so the report is identical to a sequential run.
+	var sum float64
+	for _, r := range results {
+		rep.EpsBound = r.epsBound
+		if r.ratio < 1 {
 			rep.Undershoots++
 		}
-		if ratio > rep.WorstRatio {
-			rep.WorstRatio = ratio
+		if r.ratio > rep.WorstRatio {
+			rep.WorstRatio = r.ratio
 		}
-		if !res.GoodScale {
+		if !r.goodScale {
 			rep.GoodScaleFail++
 		}
-		sum += ratio
+		sum += r.ratio
 	}
 	rep.MeanRatio = sum / float64(trials)
 	return rep, nil
@@ -236,51 +274,72 @@ type Table1Entry struct {
 
 // MeasuredTable1 runs every executable Table 1 row on one workload and
 // returns measured-vs-analytic pairs (E1). The analytic column evaluates
-// the paper's Õ(·) shape with constant 1.
+// the paper's Õ(·) shape with constant 1. The two APSP rows run as one
+// congest.RunBatch; the remaining rows run concurrently, each writing a
+// fixed slot, so the row order matches the previous sequential driver.
 func MeasuredTable1(n int, seed int64) ([]Table1Entry, error) {
 	rng := rand.New(rand.NewSource(seed))
 	g := workload(n, 0, 12, rng)
 	d := g.UnweightedDiameter()
 	nf, df := float64(n), float64(d)
-	var out []Table1Entry
-
 	unweighted := g.Unweighted()
-	_, stats, err := baseline.RunAPSP(unweighted, 0, congest.Options{})
+
+	_, _, stats, err := baseline.ClassicalDiameterBatch([]*graph.Graph{unweighted, g}, congest.Options{}, 0)
 	if err != nil {
 		return nil, err
 	}
-	out = append(out, Table1Entry{Label: "classical exact unweighted diameter (APSP)", N: n, D: int(d), Measured: int64(stats.Rounds), Analytic: nf})
+	out := make([]Table1Entry, 6)
+	out[0] = Table1Entry{Label: "classical exact unweighted diameter (APSP)", N: n, D: int(d), Measured: int64(stats[0].Rounds), Analytic: nf}
+	out[2] = Table1Entry{Label: "classical exact weighted diameter (APSP)", N: n, D: int(d), Measured: int64(stats[1].Rounds), Analytic: nf}
 
-	q, err := baseline.QuantumUnweightedDiameter(unweighted, seed)
-	if err != nil {
-		return nil, err
+	rows := []func() error{
+		func() error {
+			q, err := baseline.QuantumUnweightedDiameter(unweighted, seed)
+			if err != nil {
+				return err
+			}
+			out[1] = Table1Entry{Label: "quantum unweighted diameter (LM18-style)", N: n, D: int(d), Measured: q.Rounds, Analytic: math.Sqrt(nf * df)}
+			return nil
+		},
+		func() error {
+			a32, err := baseline.ClassicalDiameter32(unweighted, seed)
+			if err != nil {
+				return err
+			}
+			out[3] = Table1Entry{Label: "classical 3/2-approx unweighted diameter", N: n, D: int(d), Measured: a32.Rounds, Analytic: math.Sqrt(nf) + df}
+			return nil
+		},
+		func() error {
+			res, err := core.Approximate(g, core.DiameterMode, core.Options{Seed: seed})
+			if err != nil {
+				return err
+			}
+			out[4] = Table1Entry{
+				Label:    fmt.Sprintf("quantum weighted %s (1+o(1)) [THIS WORK]", core.DiameterMode),
+				N:        n,
+				D:        int(res.Params.D),
+				Measured: res.Rounds,
+				Analytic: res.TheoremBound,
+			}
+			return nil
+		},
+		func() error {
+			res, err := core.Approximate(g, core.RadiusMode, core.Options{Seed: seed})
+			if err != nil {
+				return err
+			}
+			out[5] = Table1Entry{
+				Label:    fmt.Sprintf("quantum weighted %s (1+o(1)) [THIS WORK]", core.RadiusMode),
+				N:        n,
+				D:        int(res.Params.D),
+				Measured: res.Rounds,
+				Analytic: res.TheoremBound,
+			}
+			return nil
+		},
 	}
-	out = append(out, Table1Entry{Label: "quantum unweighted diameter (LM18-style)", N: n, D: int(d), Measured: q.Rounds, Analytic: math.Sqrt(nf * df)})
-
-	_, _, wstats, err := baseline.ClassicalDiameter(g, congest.Options{})
-	if err != nil {
+	if err := concurrently(len(rows), func(i int) error { return rows[i]() }); err != nil {
 		return nil, err
-	}
-	out = append(out, Table1Entry{Label: "classical exact weighted diameter (APSP)", N: n, D: int(d), Measured: int64(wstats.Rounds), Analytic: nf})
-
-	a32, err := baseline.ClassicalDiameter32(unweighted, seed)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, Table1Entry{Label: "classical 3/2-approx unweighted diameter", N: n, D: int(d), Measured: a32.Rounds, Analytic: math.Sqrt(nf) + df})
-
-	for _, mode := range []core.Mode{core.DiameterMode, core.RadiusMode} {
-		res, err := core.Approximate(g, mode, core.Options{Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Table1Entry{
-			Label:    fmt.Sprintf("quantum weighted %s (1+o(1)) [THIS WORK]", mode),
-			N:        n,
-			D:        int(res.Params.D),
-			Measured: res.Rounds,
-			Analytic: res.TheoremBound,
-		})
 	}
 	return out, nil
 }

@@ -1,0 +1,67 @@
+package graph
+
+import "testing"
+
+// FuzzSpineLeafGen checks the spine-leaf generator over its whole
+// parameter domain: structural invariants hold (Validate), the fabric is
+// connected, every weight is positive, and every node's degree matches
+// the two-tier spec exactly.
+func FuzzSpineLeafGen(f *testing.F) {
+	f.Add(uint8(1), uint8(1), uint8(0), uint16(1), uint16(1))
+	f.Add(uint8(2), uint8(4), uint8(8), uint16(3), uint16(1))
+	f.Add(uint8(16), uint8(32), uint8(4), uint16(100), uint16(7))
+	f.Add(uint8(3), uint8(2), uint8(1), uint16(65535), uint16(2))
+	f.Fuzz(func(t *testing.T, spinesRaw, leavesRaw, hostsRaw uint8, wCoreRaw, wEdgeRaw uint16) {
+		spines := 1 + int(spinesRaw)%32
+		leaves := 1 + int(leavesRaw)%32
+		hosts := int(hostsRaw) % 16
+		wCore := 1 + int64(wCoreRaw)
+		wEdge := 1 + int64(wEdgeRaw)
+
+		g := SpineLeaf(spines, leaves, hosts, wCore, wEdge)
+
+		if err := g.Validate(); err != nil {
+			t.Fatalf("invalid graph: %v", err)
+		}
+		if !g.Connected() {
+			t.Fatal("fabric not connected")
+		}
+		if want := spines + leaves + leaves*hosts; g.N() != want {
+			t.Fatalf("n = %d, want %d", g.N(), want)
+		}
+		if want := spines*leaves + leaves*hosts; g.M() != want {
+			t.Fatalf("m = %d, want %d", g.M(), want)
+		}
+		for _, e := range g.Edges() {
+			if e.W != wCore && e.W != wEdge {
+				t.Fatalf("edge {%d,%d} has weight %d, want %d or %d", e.U, e.V, e.W, wCore, wEdge)
+			}
+		}
+		for v := 0; v < g.N(); v++ {
+			deg := g.Degree(v)
+			switch {
+			case v < spines:
+				if deg != leaves {
+					t.Fatalf("spine %d has degree %d, want %d", v, deg, leaves)
+				}
+			case v < spines+leaves:
+				if deg != spines+hosts {
+					t.Fatalf("leaf %d has degree %d, want %d", v, deg, spines+hosts)
+				}
+			default:
+				if deg != 1 {
+					t.Fatalf("host %d has degree %d, want 1", v, deg)
+				}
+			}
+		}
+		// Hop structure: any two hosts are within 4 unweighted hops.
+		if hosts > 0 {
+			d := g.Unweighted().BFS(spines + leaves)
+			for v := spines + leaves; v < g.N(); v++ {
+				if d[v] > 4 {
+					t.Fatalf("host %d is %d hops from host %d, want <= 4", v, d[v], spines+leaves)
+				}
+			}
+		}
+	})
+}

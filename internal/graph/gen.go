@@ -175,6 +175,39 @@ func DiameterControlled(n int, d int, rng *rand.Rand) *Graph {
 	return g.Simplify()
 }
 
+// SpineLeaf returns a two-tier leaf-spine datacenter fabric, the DCN
+// topology family of the OWC spine-and-leaf architecture line of work:
+// `spines` spine switches each connected to all `leaves` leaf switches
+// (core links of weight wCore), and `hosts` hosts per leaf, each attached
+// to its leaf by an edge link of weight wEdge. Node layout: spines occupy
+// [0, spines), leaves [spines, spines+leaves), and the hosts of leaf j
+// follow in order. Any host-to-host route crosses at most 4 hops
+// (host-leaf-spine-leaf-host), so the family has constant unweighted
+// diameter at arbitrary scale — the extreme low-D regime of the
+// Theorem 1.1 bound, where n^0.9·D^0.3 is farthest below the classical
+// Θ(n).
+func SpineLeaf(spines, leaves, hosts int, wCore, wEdge int64) *Graph {
+	if spines < 1 || leaves < 1 || hosts < 0 {
+		panic(fmt.Sprintf("graph: SpineLeaf needs spines,leaves >= 1 and hosts >= 0, got %d,%d,%d", spines, leaves, hosts))
+	}
+	if wCore < 1 || wEdge < 1 {
+		panic(fmt.Sprintf("graph: SpineLeaf needs positive weights, got %d,%d", wCore, wEdge))
+	}
+	n := spines + leaves + leaves*hosts
+	g := New(n)
+	for l := 0; l < leaves; l++ {
+		leaf := spines + l
+		for s := 0; s < spines; s++ {
+			g.MustAddEdge(s, leaf, wCore)
+		}
+		base := spines + leaves + l*hosts
+		for h := 0; h < hosts; h++ {
+			g.MustAddEdge(leaf, base+h, wEdge)
+		}
+	}
+	return g
+}
+
 // Barbell returns two k-cliques joined by a path of length bridgeLen (unit
 // weights). It is the classic high-diameter, high-density stress workload.
 func Barbell(k, bridgeLen int) *Graph {

@@ -47,6 +47,7 @@ var (
 	LowDiameter        = graph.LowDiameterExpanderish
 	DiameterControlled = graph.DiameterControlled
 	Barbell            = graph.Barbell
+	SpineLeaf          = graph.SpineLeaf
 )
 
 // Mode selects the metric for Approximate.
