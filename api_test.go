@@ -26,6 +26,36 @@ func TestPublicApproximateDiameter(t *testing.T) {
 	}
 }
 
+func TestPublicSketchServing(t *testing.T) {
+	rng := qcongest.NewRand(5)
+	g := qcongest.RandomWeights(qcongest.LowDiameter(40, 4, rng), 8, rng)
+	s := []int{0, 9, 17, 26, 33}
+	eps := qcongest.EpsForN(g.N())
+
+	cache := qcongest.NewSketchCache(4, 0)
+	sk := cache.Skeleton(g, s, 12, 2, eps)
+	if again := cache.Skeleton(g, s, 12, 2, eps); again != sk {
+		t.Fatal("identical query missed the cache")
+	}
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("cache stats: %+v", st)
+	}
+	// Cached answers match a direct parallel build, which never
+	// undershoots the true eccentricity.
+	direct := qcongest.BuildSkeleton(g, s, 12, 2, eps, qcongest.SketchOpts{Workers: 2})
+	for _, v := range s {
+		num, den := cache.ApproxEccentricity(g, s, 12, 2, eps, v)
+		if num != direct.ApproxEccentricity(v) || den != direct.DenOut {
+			t.Fatalf("cached ẽ(%d) = %d/%d, direct build says %d/%d",
+				v, num, den, direct.ApproxEccentricity(v), direct.DenOut)
+		}
+		if num < g.Eccentricity(v)*den {
+			t.Fatalf("ẽ(%d) undershoots the true eccentricity", v)
+		}
+	}
+	direct.Release()
+}
+
 func TestPublicApproximateRadius(t *testing.T) {
 	rng := qcongest.NewRand(2)
 	g := qcongest.RandomWeights(qcongest.LowDiameter(50, 4, rng), 8, rng)

@@ -6,12 +6,15 @@
 //	-exp=quality     E5: approximation quality vs the (1+ε)² bound
 //	-exp=spineleaf   E14: quantum vs classical on leaf-spine DCN fabrics
 //
-// Two engine knobs apply across experiments: -workers shards every
+// Three engine knobs apply across experiments: -workers shards every
 // simulation's round loop (every scenario, via congest.DefaultWorkers;
-// 0 = sequential) and -par bounds how many simulations a spineleaf
-// batch keeps in flight (the other drivers batch at GOMAXPROCS).
-// Neither changes any reported number — the engine is bit-deterministic
-// across worker counts.
+// 0 = sequential), -distworkers fans every skeleton build's per-source
+// distance computations across a worker pool (via
+// dist.DefaultSkeletonWorkers; 0 = sequential), and -par bounds how
+// many simulations a spineleaf batch keeps in flight (the other
+// drivers batch at GOMAXPROCS). None changes any reported number —
+// both the engine and the distance kernel are bit-deterministic across
+// worker counts.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 
 	"qcongest/internal/congest"
 	"qcongest/internal/core"
+	"qcongest/internal/dist"
 	"qcongest/internal/exp"
 )
 
@@ -42,6 +46,7 @@ func main() {
 		hosts   = flag.Int("hosts", 8, "hosts per leaf (spineleaf)")
 		maxw    = flag.Int64("maxw", 16, "max random edge weight (spineleaf)")
 		workers = flag.Int("workers", 0, "engine worker shards per simulation, all experiments (0 = sequential)")
+		dworkrs = flag.Int("distworkers", 0, "distance-kernel workers per skeleton build, all experiments (0 = sequential)")
 		par     = flag.Int("par", 0, "concurrent simulations in a spineleaf batch (0 = GOMAXPROCS; other sweeps batch at GOMAXPROCS)")
 	)
 	flag.Parse()
@@ -49,8 +54,10 @@ func main() {
 	// Shard every simulation this process runs. Set once, before any
 	// simulation is constructed (see congest.DefaultWorkers). The
 	// spineleaf driver additionally receives the same value explicitly
-	// for its batched classical runs.
+	// for its batched classical runs. The distance kernel gets the same
+	// treatment through dist.DefaultSkeletonWorkers.
 	congest.DefaultWorkers = *workers
+	dist.DefaultSkeletonWorkers = *dworkrs
 
 	m := core.DiameterMode
 	if *mode == "radius" {

@@ -1,10 +1,15 @@
-// Determinism regression suite for the parallel CONGEST engine: the
-// engine contract (DESIGN.md §2.3) is that Stats and the ordered Trace
-// sequence are byte-identical across Options.Workers values. Part A pins
-// the contract on every congest.Proc in the repository with raw trace
-// logs; Part B re-runs the E1–E13 experiment drivers under the parallel
-// engine (via congest.DefaultWorkers) and asserts their full reports are
-// unchanged. CI runs this file with -count=3 under the `determinism` job.
+// Determinism regression suite for the parallel CONGEST engine and the
+// parallel distance kernel: the engine contract (DESIGN.md §2.3) is
+// that Stats and the ordered Trace sequence are byte-identical across
+// Options.Workers values, and the skeleton-build contract (DESIGN.md
+// §3.6) is that every numerator is byte-identical across
+// BuildSkeletonOpts.Workers values. Part A pins the engine contract on
+// every congest.Proc in the repository with raw trace logs; Part B
+// re-runs the E1–E13 experiment drivers under the parallel engine (via
+// congest.DefaultWorkers) and asserts their full reports are unchanged;
+// Part C does the same for the distance kernel (direct skeleton builds
+// and the skeleton-heavy drivers, via dist.DefaultSkeletonWorkers). CI
+// runs this file with -count=3 under the `determinism` job.
 package qcongest_test
 
 import (
@@ -186,6 +191,87 @@ func TestDeterminismExperimentDrivers(t *testing.T) {
 				if !reflect.DeepEqual(got, ref) {
 					t.Errorf("workers=%d: report diverged from sequential run:\n got %s\nwant %s",
 						workers, fmt.Sprintf("%+v", got), fmt.Sprintf("%+v", ref))
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismSkeletonWorkers pins the distance kernel's worker
+// contract on the exported surface: skeleton numerators (queried as
+// approximate eccentricities over every vertex, plus the TopMass
+// aggregate the outer search consumes) are byte-identical for
+// Workers ∈ {1, 4, GOMAXPROCS}.
+func TestDeterminismSkeletonWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	graphs := []*graph.Graph{
+		graph.RandomWeights(graph.RandomConnected(48, 140, rng), 11, rng),
+		graph.RandomWeights(graph.SpineLeaf(3, 5, 4, 2, 1), 7, rng),
+		graph.Barbell(6, 5),
+		graph.RandomWeights(graph.DiameterControlled(40, 8, rng), 16, rng),
+	}
+	for gi, g := range graphs {
+		var s []int
+		for v := 0; v < g.N(); v += 3 {
+			s = append(s, v)
+		}
+		eps := dist.EpsForN(g.N())
+		capture := func(workers int) ([]int64, float64) {
+			sk := dist.BuildSkeletonWith(g, s, g.N()/2, 2, eps, dist.BuildSkeletonOpts{Workers: workers})
+			eccs := make([]int64, g.N())
+			for v := range eccs {
+				eccs[v] = sk.ApproxEccentricity(v)
+			}
+			mass := dist.TopMass(sk, eccs[s[0]])
+			sk.Release()
+			return eccs, mass
+		}
+		refEccs, refMass := capture(1)
+		for _, workers := range workerCounts()[1:] {
+			eccs, mass := capture(workers)
+			if !reflect.DeepEqual(eccs, refEccs) || mass != refMass {
+				t.Errorf("graph %d, workers=%d: skeleton numerators diverged from sequential build", gi, workers)
+			}
+		}
+	}
+}
+
+// TestDeterminismSkeletonDrivers re-runs the skeleton-heavy experiment
+// drivers with dist.DefaultSkeletonWorkers flipped across the worker
+// grid and asserts the full reports are identical: the parallel
+// distance kernel must be invisible in every reported number.
+func TestDeterminismSkeletonDrivers(t *testing.T) {
+	drivers := []struct {
+		name string
+		run  func() (interface{}, error)
+	}{
+		{"E1/table1", func() (interface{}, error) { return exp.MeasuredTable1(40, 3) }},
+		{"E2/scaling-n", func() (interface{}, error) {
+			pts, fit, err := exp.ScalingInN([]int{16, 24}, 4, core.DiameterMode, 3)
+			return []interface{}{pts, fit}, err
+		}},
+		{"E5/quality", func() (interface{}, error) { return exp.Quality(2, 24, core.DiameterMode, 3) }},
+		{"E14/spineleaf", func() (interface{}, error) {
+			return exp.SpineLeafSweep([]exp.SpineLeafConfig{{Spines: 2, Leaves: 3, Hosts: 3}}, 4, 3, 0, 0)
+		}},
+	}
+	defer func() { dist.DefaultSkeletonWorkers = 0 }()
+	for _, d := range drivers {
+		t.Run(d.name, func(t *testing.T) {
+			dist.DefaultSkeletonWorkers = 0
+			ref, err := d.run()
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			for _, workers := range workerCounts() {
+				dist.DefaultSkeletonWorkers = workers
+				got, err := d.run()
+				dist.DefaultSkeletonWorkers = 0
+				if err != nil {
+					t.Fatalf("distworkers=%d: %v", workers, err)
+				}
+				if !reflect.DeepEqual(got, ref) {
+					t.Errorf("distworkers=%d: report diverged from sequential run", workers)
 				}
 			}
 		})

@@ -17,6 +17,7 @@ package baseline
 
 import (
 	"fmt"
+	"sort"
 
 	"qcongest/internal/congest"
 	"qcongest/internal/graph"
@@ -27,13 +28,25 @@ const kindAPSP uint8 = 41
 // apspProc is a queued multi-source Bellman-Ford node: every node floods
 // (source, distance) tokens, forwarding at most one token per edge per
 // round. The protocol is exact on convergence for any positive weights.
+// Bookkeeping is flat: queue membership is a []bool indexed by source
+// (not a map), the queue is a head-indexed slice preallocated to n that
+// rewinds whenever it drains (it can still grow past n if sources
+// re-improve faster than the queue empties), and incoming tokens
+// resolve their arc weight through a sorted neighbor index built once
+// at Init instead of a linear scan per token.
 type apspProc struct {
 	budget int
 
 	env    *congest.Env
 	dist   []int64
-	queued map[int]bool
+	queued []bool
 	queue  []int
+	qhead  int
+	// nbTo/nbW is the neighbor table sorted by node id: the arc index of
+	// a sender is a binary search, and parallel edges resolve to the
+	// minimum weight (the only one a shortest-path token can use).
+	nbTo []int32
+	nbW  []int64
 }
 
 var _ congest.Proc = (*apspProc)(nil)
@@ -45,8 +58,19 @@ func (p *apspProc) Init(env *congest.Env) {
 		p.dist[i] = graph.Inf
 	}
 	p.dist[env.ID] = 0
-	p.queued = map[int]bool{env.ID: true}
-	p.queue = []int{env.ID}
+	p.queued = make([]bool, env.N)
+	p.queued[env.ID] = true
+	p.queue = make([]int, 1, env.N)
+	p.queue[0] = env.ID
+	p.qhead = 0
+
+	p.nbTo = make([]int32, 0, len(env.Neighbors))
+	p.nbW = make([]int64, 0, len(env.Neighbors))
+	for _, a := range env.Neighbors {
+		p.nbTo = append(p.nbTo, int32(a.To))
+		p.nbW = append(p.nbW, a.W)
+	}
+	sort.Sort(&neighborIndex{to: p.nbTo, w: p.nbW})
 }
 
 func (p *apspProc) Step(round int, inbox []congest.Received) ([]congest.Send, bool) {
@@ -65,24 +89,58 @@ func (p *apspProc) Step(round int, inbox []congest.Received) ([]congest.Send, bo
 		}
 	}
 	var out []congest.Send
-	if len(p.queue) > 0 {
-		src := p.queue[0]
-		p.queue = p.queue[1:]
+	if p.qhead < len(p.queue) {
+		src := p.queue[p.qhead]
+		p.qhead++
+		if p.qhead == len(p.queue) {
+			p.queue = p.queue[:0]
+			p.qhead = 0
+		}
 		p.queued[src] = false
+		out = make([]congest.Send, 0, len(p.env.Neighbors))
 		for _, a := range p.env.Neighbors {
 			out = append(out, congest.Send{To: a.To, Msg: congest.Message{Kind: kindAPSP, A: int64(src), B: p.dist[src]}})
 		}
 	}
-	return out, len(p.queue) == 0 || round >= p.budget
+	return out, p.qhead == len(p.queue) || round >= p.budget
 }
 
+// weightTo resolves the (minimum) arc weight from a neighbor by binary
+// search over the sorted neighbor index.
 func (p *apspProc) weightTo(from int) int64 {
-	for _, a := range p.env.Neighbors {
-		if a.To == from {
-			return a.W
+	lo, hi := 0, len(p.nbTo)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(p.nbTo[mid]) < from {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
+	if lo < len(p.nbTo) && int(p.nbTo[lo]) == from {
+		return p.nbW[lo]
+	}
 	panic("baseline: message from non-neighbor")
+}
+
+// neighborIndex sorts the (to, w) columns together by node id, weight
+// ascending within parallel edges so the binary search lands on the
+// minimum weight.
+type neighborIndex struct {
+	to []int32
+	w  []int64
+}
+
+func (s *neighborIndex) Len() int { return len(s.to) }
+func (s *neighborIndex) Less(i, j int) bool {
+	if s.to[i] != s.to[j] {
+		return s.to[i] < s.to[j]
+	}
+	return s.w[i] < s.w[j]
+}
+func (s *neighborIndex) Swap(i, j int) {
+	s.to[i], s.to[j] = s.to[j], s.to[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
 }
 
 // RunAPSP executes the classical exact APSP baseline and returns the full

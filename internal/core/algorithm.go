@@ -40,6 +40,11 @@ type Options struct {
 	// the paper). Lowering it speeds up experiments at the cost of a
 	// larger failure probability.
 	Sets int
+	// SkeletonWorkers fans each skeleton build's per-source distance
+	// computations across a worker pool (0 uses
+	// dist.DefaultSkeletonWorkers; 0/1 is sequential). Results are
+	// byte-identical for every value.
+	SkeletonWorkers int
 }
 
 // Result reports one algorithm run with its full round ledger.
@@ -215,7 +220,9 @@ func checkGoodScale(sets [][]int, r int) bool {
 // evaluator runs the inner quantum searches, memoizing the resulting
 // outer values by set identity (the outer search revisits indices).
 // Skeletons are rebuilt on demand rather than cached: each one holds
-// O(|S_i|·n) numerators, and the outer search touches Θ(n) sets.
+// O(|S_i|·n) numerators, and the outer search touches Θ(n) sets. Each
+// skeleton is released back to the dist build-arena pool as soon as its
+// queries are done, so the rebuild churn reuses one set of buffers.
 type evaluator struct {
 	g      *graph.Graph
 	params Params
@@ -243,7 +250,8 @@ func setKey(s []int) string {
 }
 
 func (e *evaluator) skeleton(s []int) *dist.Skeleton {
-	return dist.BuildSkeleton(e.g, s, e.params.L, e.params.K, e.params.Eps)
+	return dist.BuildSkeletonWith(e.g, s, e.params.L, e.params.K, e.params.Eps,
+		dist.BuildSkeletonOpts{Workers: e.opts.SkeletonWorkers})
 }
 
 // outerValue runs the inner quantum search over S_i and returns f(i) in
@@ -254,6 +262,7 @@ func (e *evaluator) outerValue(s []int, mode Mode) int64 {
 		return v
 	}
 	sk := e.skeleton(s)
+	defer sk.Release()
 	costs := e.params.innerCosts(len(s))
 	inner := qdist.Procedure{
 		Name:        "lemma-3.5-inner",
@@ -285,6 +294,7 @@ func (e *evaluator) outerValue(s []int, mode Mode) int64 {
 // its witness node.
 func (e *evaluator) exactValue(s []int, mode Mode) (num, den int64, witness int) {
 	sk := e.skeleton(s)
+	defer sk.Release()
 	witness = s[0]
 	best := sk.ApproxEccentricity(s[0])
 	for _, cand := range s[1:] {

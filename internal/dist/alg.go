@@ -141,6 +141,7 @@ func RunAlg(p Procedure, obj Objective) (Result, error) {
 		return Result{}, err
 	}
 	sk := BuildSkeleton(p.G, p.Sources, p.L, p.K, p.Eps)
+	defer sk.Release()
 	witness := p.Sources[0]
 	best := sk.ApproxEccentricity(witness)
 	for _, s := range p.Sources[1:] {

@@ -1,0 +1,214 @@
+// The multi-source rounded-distance kernel behind BuildSkeleton: a
+// pooled build arena (graph.DistWorkspace + flat scratch), the shared
+// per-arc numerator overlay that turns the per-scale weight rounding
+// ⌈w·2Tℓ/2^i⌉ into an add-and-shift, and the worker pool that fans the
+// per-source computations out with a deterministic source-order merge.
+//
+// Determinism contract (mirrors congest.Options.Workers): every row j
+// of the skeleton is a pure function of (G, Sources[j], ℓ, ε), computed
+// into its own pre-assigned slot rows[j·n : (j+1)·n], so the assembled
+// numerators are byte-identical for every worker count.
+
+package dist
+
+import (
+	"sync"
+
+	"qcongest/internal/congest"
+	"qcongest/internal/graph"
+)
+
+// DefaultSkeletonWorkers is the worker count used when
+// BuildSkeletonOpts.Workers is 0. Like congest.DefaultWorkers it exists
+// for process-wide front-ends (cmd/sweep's and cmd/table1's
+// -distworkers flag, the determinism suite) that cannot thread a knob
+// through every caller: set it once, before builds start — the read is
+// unsynchronized. 0 or 1 builds sequentially.
+var DefaultSkeletonWorkers int
+
+// BuildSkeletonOpts configures BuildSkeletonWith.
+type BuildSkeletonOpts struct {
+	// Workers fans the per-source rounded-distance computations across
+	// this many goroutines. 0 uses DefaultSkeletonWorkers; 0 or 1 is
+	// sequential. The skeleton's numerators are byte-identical for
+	// every value.
+	Workers int
+}
+
+// skelBuffers is the pooled build arena of one skeleton: the distance
+// workspace (CSR adjacency + frontier scratch), the shared per-arc
+// numerator overlay, and every flat array the skeleton owns. Recycled
+// through skelPool by (*Skeleton).Release so a steady-state build
+// allocates almost nothing.
+type skelBuffers struct {
+	ws   *graph.DistWorkspace
+	wden []int64 // per-arc w·2Tℓ numerators (scale i divides by 2^i)
+
+	rows    []int64 // flat row-major d̃^ℓ numerators (b base rows + query rows)
+	srcIdx  []int32 // vertex -> index in Sources, -1 otherwise
+	rowOf   []int32 // vertex -> row index into rows, -1 if uncomputed
+	ecc     []int64 // memoized ẽ numerators, -1 if unset
+	overlay []int64 // flat b×b overlay distances
+
+	scale []int64 // per-scale bounded-hop scratch (sequential + query path)
+	entry []int64 // ApproxEccentricity's per-skeleton-node entry costs
+	full  []int64 // overlay build: flat b×b complete distances
+	keep  []bool  // overlay build: flat b×b sparsification mask
+	order []int   // overlay build: per-node sort order
+	cur   []int64 // overlay build: Bellman-Ford front
+	next  []int64
+}
+
+var skelPool sync.Pool
+
+func getSkelBuffers(g *graph.Graph) *skelBuffers {
+	b, _ := skelPool.Get().(*skelBuffers)
+	if b == nil {
+		b = &skelBuffers{}
+	}
+	if b.ws == nil {
+		b.ws = graph.NewDistWorkspace(g)
+	} else {
+		b.ws.Reset(g)
+	}
+	return b
+}
+
+// Release returns the skeleton's build arena to the package pool. Call
+// it only as the exclusive owner, when no queries against the skeleton
+// can follow (internal/core releases the per-evaluation skeletons it
+// builds and discards; the sketch cache of internal/server must NOT
+// release entries it may still be serving). After Release every query
+// method of the skeleton panics.
+func (sk *Skeleton) Release() {
+	// Taking the query mutex closes the window where a misused Release
+	// races an in-flight query: the arena is recycled only after any
+	// current query finishes, so the race fails loudly (nil bufs) in the
+	// racing caller instead of corrupting a later build.
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	b := sk.bufs
+	if b == nil {
+		return
+	}
+	sk.bufs = nil
+	skelPool.Put(b)
+}
+
+// dedupSources returns s with duplicates removed, preserving first
+// occurrences, and fills srcIdx (vertex -> index in the deduped order).
+// The overlay previously stored one column per occurrence while idx
+// kept only the first, skewing every duplicate's overlay column; the
+// skeleton now operates on the deduped set only.
+func dedupSources(s []int, srcIdx []int32) []int {
+	for i := range srcIdx {
+		srcIdx[i] = -1
+	}
+	out := make([]int, 0, len(s))
+	for _, v := range s {
+		if srcIdx[v] >= 0 {
+			continue
+		}
+		srcIdx[v] = int32(len(out))
+		out = append(out, v)
+	}
+	return out
+}
+
+// buildRows computes the rounded ℓ-hop numerator row of every skeleton
+// source into its slot of the flat rows array, fanning across a worker
+// pool when workers > 1. Worker clones share the read-only CSR and the
+// wden overlay; each row slot is written by exactly one worker.
+func (sk *Skeleton) buildRows(workers int) {
+	b := len(sk.Sources)
+	n := sk.bufs.ws.N()
+	sk.bufs.rows = growInt64(sk.bufs.rows, b*n)
+	rows := sk.bufs.rows
+	if workers > b {
+		workers = b
+	}
+	if workers <= 1 {
+		for j, v := range sk.Sources {
+			sk.bufs.scale = sk.roundedRowInto(sk.bufs.ws, sk.bufs.scale, rows[j*n:(j+1)*n], v)
+		}
+		return
+	}
+	type rowWorker struct {
+		ws    *graph.DistWorkspace
+		scale []int64
+	}
+	idle := make(chan *rowWorker, workers)
+	for w := 0; w < workers; w++ {
+		idle <- &rowWorker{ws: sk.bufs.ws.Clone()}
+	}
+	congest.ForEach(b, workers, func(j int) {
+		w := <-idle
+		w.scale = sk.roundedRowInto(w.ws, w.scale, rows[j*n:(j+1)*n], sk.Sources[j])
+		idle <- w
+	})
+}
+
+// roundedRowInto computes the numerators of the (1+ε)-approximate
+// ℓ-hop distances d̃^ℓ(src, ·) over denominator 2Tℓ into row: the min
+// over rounding scales i = 0..i_max of the frontier-based ℓ-hop
+// Bellman-Ford distance under weights ⌈w·2Tℓ/2^i⌉, rescaled by 2^i.
+// Rounding up makes every value the length of a real path (never an
+// undershoot); for a pair at true distance d with a min-weight path of
+// at most ℓ hops, the scale with 2^(i-1) < d <= 2^i yields a value of
+// at most (1+ε)·d. Scale-i values above (1+2T)ℓ belong to larger
+// scales and are pruned inside the kernel, which drains small-scale
+// frontiers after a few hops. Returns the (possibly grown) scratch.
+func (sk *Skeleton) roundedRowInto(ws *graph.DistWorkspace, scratch, row []int64, src int) []int64 {
+	for v := range row {
+		row[v] = graph.Inf
+	}
+	for i := 0; i <= sk.imax; i++ {
+		scratch = ws.BoundedHopInto(scratch, src, sk.L, sk.bufs.wden, uint(i), sk.cap64)
+		for v, bh := range scratch {
+			if bh == graph.Inf {
+				continue
+			}
+			if scaled := bh << uint(i); scaled < row[v] {
+				row[v] = scaled
+			}
+		}
+	}
+	return scratch
+}
+
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// maxW returns the maximum edge weight, at least 1.
+func maxW(g *graph.Graph) int64 {
+	w := g.MaxWeight()
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

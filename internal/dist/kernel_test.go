@@ -1,0 +1,353 @@
+package dist
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"qcongest/internal/graph"
+)
+
+// refRoundedBoundedHopDist is the pre-kernel reference implementation
+// of the rounded bounded-hop distances (the full-edge-scan Bellman-Ford
+// the repository shipped before the frontier kernel), kept verbatim as
+// the golden oracle: the kernel's numerators must match it bit for bit.
+func refRoundedBoundedHopDist(g *graph.Graph, src, l int, eps Eps) []int64 {
+	n := g.N()
+	den := eps.Den(l)
+	cap64 := (1 + 2*eps.T) * int64(l)
+	w := g.MaxWeight()
+	if w < 1 {
+		w = 1
+	}
+	imax := IMax(n, w, eps)
+
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = graph.Inf
+	}
+	cur := make([]int64, n)
+	next := make([]int64, n)
+	for i := 0; i <= imax; i++ {
+		scale := int64(1) << uint(i)
+		for v := range cur {
+			cur[v] = graph.Inf
+		}
+		cur[src] = 0
+		for hop := 0; hop < l; hop++ {
+			copy(next, cur)
+			changed := false
+			for _, e := range g.Edges() {
+				w := ceilDiv(e.W*den, scale)
+				if cur[e.U] != graph.Inf && cur[e.U]+w < next[e.V] && cur[e.U]+w <= cap64 {
+					next[e.V] = cur[e.U] + w
+					changed = true
+				}
+				if cur[e.V] != graph.Inf && cur[e.V]+w < next[e.U] && cur[e.V]+w <= cap64 {
+					next[e.U] = cur[e.V] + w
+					changed = true
+				}
+			}
+			cur, next = next, cur
+			if !changed {
+				break
+			}
+		}
+		for v, bh := range cur {
+			if bh == graph.Inf {
+				continue
+			}
+			if scaled := bh * scale; scaled < out[v] {
+				out[v] = scaled
+			}
+		}
+	}
+	return out
+}
+
+// goldenGraphs is the E1–E14 workload family: the deterministic shapes
+// of the unit suites, the random weighted graphs of the scaling and
+// quality experiments (E1–E5), the barbell of the determinism suite,
+// and the E14 spine-leaf fabric.
+func goldenGraphs() []*graph.Graph {
+	rng := rand.New(rand.NewSource(41))
+	return []*graph.Graph{
+		graph.Path(11),
+		graph.Cycle(9),
+		graph.Star(8),
+		graph.Grid(4, 4),
+		graph.Barbell(5, 4),
+		graph.RandomWeights(graph.RandomConnected(30, 80, rng), 9, rng),
+		graph.RandomWeights(graph.LowDiameterExpanderish(36, 4, rng), 16, rng),
+		graph.RandomWeights(graph.DiameterControlled(32, 6, rng), 12, rng),
+		graph.RandomWeights(graph.SpineLeaf(3, 5, 4, 2, 1), 7, rng),
+	}
+}
+
+// TestGoldenKernelEquivalence pins the frontier kernel's numerators bit
+// identical to the reference implementation across the experiment
+// workload family, several sources, hop budgets, and ε values.
+func TestGoldenKernelEquivalence(t *testing.T) {
+	for gi, g := range goldenGraphs() {
+		for _, eps := range []Eps{{T: 1}, {T: 4}, EpsForN(g.N())} {
+			for _, l := range []int{1, 2, 5, g.N() / 2, g.N()} {
+				sk := &Skeleton{
+					G: g, L: l, K: 1, Eps: eps, DenOut: eps.Den(l),
+					cap64: (1 + 2*eps.T) * int64(l),
+					imax:  IMax(g.N(), maxW(g), eps),
+					bufs:  getSkelBuffers(g),
+				}
+				sk.bufs.wden = sk.bufs.ws.ArcWeights(sk.bufs.wden)
+				for a := range sk.bufs.wden {
+					sk.bufs.wden[a] *= sk.DenOut
+				}
+				for src := 0; src < g.N(); src += 1 + g.N()/5 {
+					want := refRoundedBoundedHopDist(g, src, l, eps)
+					got := make([]int64, g.N())
+					sk.bufs.scale = sk.roundedRowInto(sk.bufs.ws, sk.bufs.scale, got, src)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("graph %d, eps T=%d, l=%d, src=%d: kernel diverged from reference",
+							gi, eps.T, l, src)
+					}
+				}
+				sk.Release()
+			}
+		}
+	}
+}
+
+// TestGoldenSkeletonRows pins the full BuildSkeleton surface: every
+// source row equals the reference computation, and every approximate
+// eccentricity is reproduced after a rebuild (the overlay assembly is
+// a deterministic function of the rows).
+func TestGoldenSkeletonRows(t *testing.T) {
+	for gi, g := range goldenGraphs() {
+		eps := EpsForN(g.N())
+		var s []int
+		for v := 0; v < g.N(); v += 3 {
+			s = append(s, v)
+		}
+		l, k := g.N()/2+1, 2
+		sk := BuildSkeleton(g, s, l, k, eps)
+		n := g.N()
+		for j, v := range sk.Sources {
+			want := refRoundedBoundedHopDist(g, v, l, eps)
+			got := sk.bufs.rows[j*n : (j+1)*n]
+			if !reflect.DeepEqual([]int64(got), want) {
+				t.Fatalf("graph %d: row of source %d diverged from reference", gi, v)
+			}
+		}
+	}
+}
+
+func workerCounts() []int {
+	return []int{1, 4, runtime.GOMAXPROCS(0)}
+}
+
+// TestSkeletonWorkerDeterminism: numerators (rows, overlay, and every
+// derived eccentricity) are byte-identical across worker counts.
+func TestSkeletonWorkerDeterminism(t *testing.T) {
+	for gi, g := range goldenGraphs() {
+		eps := EpsForN(g.N())
+		var s []int
+		for v := 0; v < g.N(); v += 2 {
+			s = append(s, v)
+		}
+		capture := func(workers int) ([]int64, []int64, []int64) {
+			sk := BuildSkeletonWith(g, s, 10, 2, eps, BuildSkeletonOpts{Workers: workers})
+			rows := append([]int64(nil), sk.bufs.rows...)
+			overlay := append([]int64(nil), sk.bufs.overlay...)
+			eccs := make([]int64, g.N())
+			for v := 0; v < g.N(); v++ {
+				eccs[v] = sk.ApproxEccentricity(v)
+			}
+			sk.Release()
+			return rows, overlay, eccs
+		}
+		refRows, refOverlay, refEccs := capture(1)
+		for _, workers := range workerCounts()[1:] {
+			rows, overlay, eccs := capture(workers)
+			if !reflect.DeepEqual(rows, refRows) {
+				t.Fatalf("graph %d, workers=%d: rows diverged", gi, workers)
+			}
+			if !reflect.DeepEqual(overlay, refOverlay) {
+				t.Fatalf("graph %d, workers=%d: overlay diverged", gi, workers)
+			}
+			if !reflect.DeepEqual(eccs, refEccs) {
+				t.Fatalf("graph %d, workers=%d: eccentricities diverged", gi, workers)
+			}
+		}
+	}
+}
+
+// TestSkeletonDeduplicatesSources is the duplicate-source regression
+// test: repeats in Sources previously kept the first index in the
+// lookup but still allocated one overlay column per occurrence. The
+// skeleton must collapse duplicates and answer queries identically to
+// the deduplicated build.
+func TestSkeletonDeduplicatesSources(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	g := graph.RandomWeights(graph.RandomConnected(20, 45, rng), 8, rng)
+	eps := EpsForN(g.N())
+	dup := []int{4, 9, 4, 0, 9, 4, 13, 0}
+	uniq := []int{4, 9, 0, 13}
+
+	skDup := BuildSkeleton(g, dup, 12, 2, eps)
+	skUniq := BuildSkeleton(g, uniq, 12, 2, eps)
+	if !reflect.DeepEqual(skDup.Sources, uniq) {
+		t.Fatalf("Sources not deduplicated in order: %v", skDup.Sources)
+	}
+	if len(skDup.bufs.overlay) != len(uniq)*len(uniq) {
+		t.Fatalf("overlay holds %d entries, want %d (one column per unique source)",
+			len(skDup.bufs.overlay), len(uniq)*len(uniq))
+	}
+	for v := 0; v < g.N(); v++ {
+		if a, b := skDup.ApproxEccentricity(v), skUniq.ApproxEccentricity(v); a != b {
+			t.Fatalf("ẽ(%d) differs between duplicated (%d) and unique (%d) source lists", v, a, b)
+		}
+	}
+}
+
+// TestSkeletonReleaseReuse: a released arena serves a different graph
+// with results identical to a fresh build (pooled state fully reset).
+func TestSkeletonReleaseReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	big := graph.RandomWeights(graph.RandomConnected(30, 70, rng), 9, rng)
+	small := graph.RandomWeights(graph.Cycle(7), 5, rng)
+	eps := EpsForN(big.N())
+
+	skBig := BuildSkeleton(big, []int{0, 5, 11, 20}, 15, 2, eps)
+	for v := 0; v < big.N(); v++ {
+		skBig.ApproxEccentricity(v)
+	}
+	skBig.Release()
+
+	reused := BuildSkeleton(small, []int{0, 3, 5}, 6, 2, eps)
+	skFresh := BuildSkeletonWith(small, []int{0, 3, 5}, 6, 2, eps, BuildSkeletonOpts{})
+	for v := 0; v < small.N(); v++ {
+		if a, b := reused.ApproxEccentricity(v), skFresh.ApproxEccentricity(v); a != b {
+			t.Fatalf("recycled arena: ẽ(%d) = %d, fresh build says %d", v, a, b)
+		}
+	}
+	reused.Release()
+}
+
+// TestSkeletonConcurrentQueries exercises the query-path mutex: many
+// goroutines querying one skeleton (including lazy non-source rows)
+// must agree with a sequential pass. Run under -race in CI.
+func TestSkeletonConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	g := graph.RandomWeights(graph.RandomConnected(24, 60, rng), 7, rng)
+	eps := EpsForN(g.N())
+	sk := BuildSkeleton(g, []int{1, 6, 12, 18}, 10, 2, eps)
+
+	want := make([]int64, g.N())
+	ref := BuildSkeleton(g, []int{1, 6, 12, 18}, 10, 2, eps)
+	for v := 0; v < g.N(); v++ {
+		want[v] = ref.ApproxEccentricity(v)
+	}
+
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for v := 0; v < g.N(); v++ {
+				u := (v + w*5) % g.N()
+				if got := sk.ApproxEccentricity(u); got != want[u] {
+					done <- &mismatchErr{u, got, want[u]}
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type mismatchErr struct {
+	v         int
+	got, want int64
+}
+
+func (e *mismatchErr) Error() string {
+	return "concurrent ẽ query mismatch"
+}
+
+// TestBuildSkeletonAllocGuard is the allocation-regression guard of the
+// CI workflow: a steady-state (pooled) sequential build must stay under
+// a fixed allocation ceiling. The ceiling covers the Skeleton header,
+// the source list, and the overlay sort closures — not the rows, the
+// workspace, or the scratch, which the arena recycles.
+func TestBuildSkeletonAllocGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	g := graph.RandomWeights(graph.RandomConnected(96, 300, rng), 10, rng)
+	eps := EpsForN(g.N())
+	var s []int
+	for v := 0; v < g.N(); v += 6 {
+		s = append(s, v)
+	}
+	// Warm the pool.
+	BuildSkeleton(g, s, 24, 3, eps).Release()
+	allocs := testing.AllocsPerRun(20, func() {
+		sk := BuildSkeleton(g, s, 24, 3, eps)
+		sk.Release()
+	})
+	// 16 sources: header + dedup copy + 16 sort.Slice closures and their
+	// reflect headers leave ~4 allocations each of slack.
+	if allocs > 80 {
+		t.Fatalf("steady-state BuildSkeleton allocates %.0f objects per build, ceiling 80", allocs)
+	}
+}
+
+// FuzzRoundedHopDist differentially fuzzes the frontier kernel against
+// the ℓ-hop reference on arbitrary connected-ish weighted graphs.
+func FuzzRoundedHopDist(f *testing.F) {
+	f.Add(int64(1), uint8(12), uint8(30), uint8(3), uint8(4), uint8(2))
+	f.Add(int64(7), uint8(20), uint8(60), uint8(9), uint8(8), uint8(5))
+	f.Add(int64(99), uint8(2), uint8(1), uint8(1), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, mRaw, wRaw, lRaw, tRaw uint8) {
+		n := 2 + int(nRaw)%30
+		m := int(mRaw) % (3 * n)
+		maxw := 1 + int64(wRaw)%12
+		l := 1 + int(lRaw)%(n+2)
+		eps := Eps{T: 1 + int64(tRaw)%8}
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(n)
+		// A random spanning tree plus extra random edges: connected, with
+		// parallel edges permitted (AddEdge allows them).
+		for v := 1; v < n; v++ {
+			g.MustAddEdge(rng.Intn(v), v, 1+rng.Int63n(maxw))
+		}
+		for i := 0; i < m; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			g.MustAddEdge(u, v, 1+rng.Int63n(maxw))
+		}
+		src := rng.Intn(n)
+		want := refRoundedBoundedHopDist(g, src, l, eps)
+
+		sk := &Skeleton{
+			G: g, L: l, K: 1, Eps: eps, DenOut: eps.Den(l),
+			cap64: (1 + 2*eps.T) * int64(l),
+			imax:  IMax(n, maxW(g), eps),
+			bufs:  getSkelBuffers(g),
+		}
+		sk.bufs.wden = sk.bufs.ws.ArcWeights(sk.bufs.wden)
+		for a := range sk.bufs.wden {
+			sk.bufs.wden[a] *= sk.DenOut
+		}
+		got := make([]int64, n)
+		sk.bufs.scale = sk.roundedRowInto(sk.bufs.ws, sk.bufs.scale, got, src)
+		sk.Release()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("kernel diverged from ℓ-hop reference (n=%d m=%d l=%d T=%d src=%d)\n got %v\nwant %v",
+				n, g.M(), l, eps.T, src, got, want)
+		}
+	})
+}

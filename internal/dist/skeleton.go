@@ -8,12 +8,16 @@
 // The centralized build computes exactly what the executable procedures
 // (RunAlg1/RunAlg3) converge to; the round cost of assembling it is
 // charged by internal/core's cost model, whose schedules the parity
-// tests check against the executable procedures.
+// tests check against the executable procedures. The heavy lifting — the
+// per-source rounded bounded-hop sweeps — runs on the frontier kernel of
+// graph.DistWorkspace through the pooled build arena in kernel.go, and
+// all bookkeeping is index-keyed flat slices (no maps on the hot path).
 
 package dist
 
 import (
 	"sort"
+	"sync"
 
 	"qcongest/internal/graph"
 )
@@ -22,10 +26,17 @@ import (
 // answer ẽ_{G,w,i}(·) queries. All distance values are integer
 // numerators over the common denominator DenOut; a numerator of
 // graph.Inf marks a pair unreachable within the hop budget.
+//
+// Query methods (ApproxEccentricity, TopMass, BottomMass) are safe for
+// concurrent use: the lazy row/eccentricity memo is guarded by an
+// internal mutex, so a cached skeleton can serve concurrent requests
+// (see internal/server's sketch cache).
 type Skeleton struct {
 	// G is the underlying network.
 	G *graph.Graph
-	// Sources is the skeleton node set S_i (in the order given).
+	// Sources is the skeleton node set S_i, deduplicated preserving
+	// first occurrences (Lemma 3.2's S_i is a set; duplicate entries in
+	// the input are collapsed).
 	Sources []int
 	// L is the hop budget ℓ of the bounded-hop distance computations.
 	L int
@@ -38,22 +49,32 @@ type Skeleton struct {
 	// skeleton returns.
 	DenOut int64
 
-	idx     map[int]int     // source vertex -> index in Sources
-	rows    map[int][]int64 // d̃^ℓ(v, ·) numerators, keyed by vertex
-	overlay [][]int64       // b×b overlay distances (numerators)
-	ecc     map[int]int64   // memoized ẽ numerators
+	imax  int   // hoisted scale count: rounding scales run 0..imax
+	cap64 int64 // per-scale prune bound (1+2T)·ℓ
+
+	mu   sync.Mutex
+	bufs *skelBuffers
 }
 
 // BuildSkeleton computes the Lemma 3.2 skeleton of the set s in g with
-// hop budget l, sparsification parameter k, and rounding parameter eps.
+// hop budget l, sparsification parameter k, and rounding parameter eps,
+// with the default worker setting (see BuildSkeletonWith).
+func BuildSkeleton(g *graph.Graph, s []int, l, k int, eps Eps) *Skeleton {
+	return BuildSkeletonWith(g, s, l, k, eps, BuildSkeletonOpts{})
+}
+
+// BuildSkeletonWith is BuildSkeleton with explicit build options.
 // Degenerate parameters are clamped to 1 so every input is runnable.
 //
 // For each skeleton node the (1+ε)-rounded ℓ-hop distances to all of V
 // are computed (the numerators internal/core's memory note refers to:
 // O(|S_i|·n) of them), then the overlay is assembled and sparsified to
 // the k shortest edges per node, and overlay distances between skeleton
-// nodes are taken with the Algorithm 5 hop bound ⌈4b/k⌉.
-func BuildSkeleton(g *graph.Graph, s []int, l, k int, eps Eps) *Skeleton {
+// nodes are taken with the Algorithm 5 hop bound ⌈4b/k⌉. The per-source
+// computations fan across opts.Workers goroutines with a deterministic
+// source-order merge: numerators are byte-identical for every worker
+// count.
+func BuildSkeletonWith(g *graph.Graph, s []int, l, k int, eps Eps, opts BuildSkeletonOpts) *Skeleton {
 	if l < 1 {
 		l = 1
 	}
@@ -63,118 +84,90 @@ func BuildSkeleton(g *graph.Graph, s []int, l, k int, eps Eps) *Skeleton {
 	if eps.T < 1 {
 		eps.T = 1
 	}
-	sk := &Skeleton{
-		G:       g,
-		Sources: s,
-		L:       l,
-		K:       k,
-		Eps:     eps,
-		DenOut:  eps.Den(l),
-		idx:     make(map[int]int, len(s)),
-		rows:    make(map[int][]int64, len(s)),
-		ecc:     make(map[int]int64),
+	workers := opts.Workers
+	if workers == 0 {
+		workers = DefaultSkeletonWorkers
 	}
-	for j, v := range s {
-		if _, dup := sk.idx[v]; !dup {
-			sk.idx[v] = j
-		}
-		if _, ok := sk.rows[v]; !ok {
-			sk.rows[v] = roundedBoundedHopDist(g, v, l, eps)
-		}
+	bufs := getSkelBuffers(g)
+	n := g.N()
+	sk := &Skeleton{
+		G:      g,
+		L:      l,
+		K:      k,
+		Eps:    eps,
+		DenOut: eps.Den(l),
+		cap64:  (1 + 2*eps.T) * int64(l), // scale-i values above it belong to larger scales
+		bufs:   bufs,
+	}
+	w := bufs.ws.MaxWeight()
+	if w < 1 {
+		w = 1
+	}
+	sk.imax = IMax(n, w, eps)
+
+	// Per-arc numerators w·2Tℓ, shared read-only by every worker: scale
+	// i's rounded weight ⌈w·2Tℓ/2^i⌉ becomes an add-and-shift.
+	bufs.wden = bufs.ws.ArcWeights(bufs.wden)
+	for a := range bufs.wden {
+		bufs.wden[a] *= sk.DenOut
+	}
+
+	bufs.srcIdx = growInt32(bufs.srcIdx, n)
+	sk.Sources = dedupSources(s, bufs.srcIdx)
+
+	bufs.rowOf = growInt32(bufs.rowOf, n)
+	bufs.ecc = growInt64(bufs.ecc, n)
+	for v := 0; v < n; v++ {
+		bufs.rowOf[v] = -1
+		bufs.ecc[v] = -1
+	}
+	sk.buildRows(workers)
+	for j, v := range sk.Sources {
+		bufs.rowOf[v] = int32(j)
 	}
 	sk.buildOverlay()
 	return sk
 }
 
-// roundedBoundedHopDist returns the numerators of the (1+ε)-approximate
-// ℓ-hop distances d̃^ℓ(src, ·) over denominator eps.Den(l): the min over
-// rounding scales i = 0..i_max of the ℓ-hop Bellman-Ford distance under
-// weights ⌈w·2Tℓ/2^i⌉, rescaled by 2^i. Rounding up makes every value
-// the length of a real path (never an undershoot); for a pair at true
-// distance d with a min-weight path of at most ℓ hops, the scale with
-// 2^(i-1) < d <= 2^i yields a value of at most (1+ε)·d.
-func roundedBoundedHopDist(g *graph.Graph, src, l int, eps Eps) []int64 {
-	n := g.N()
-	den := eps.Den(l)
-	cap64 := (1 + 2*eps.T) * int64(l) // prune bound: scale-i values above it belong to larger scales
-	imax := IMax(n, maxW(g), eps)
-
-	out := make([]int64, n)
-	for i := range out {
-		out[i] = graph.Inf
-	}
-	cur := make([]int64, n)
-	next := make([]int64, n)
-	for i := 0; i <= imax; i++ {
-		scale := int64(1) << uint(i)
-		for v := range cur {
-			cur[v] = graph.Inf
-		}
-		cur[src] = 0
-		for hop := 0; hop < l; hop++ {
-			copy(next, cur)
-			changed := false
-			for _, e := range g.Edges() {
-				w := ceilDiv(e.W*den, scale)
-				if cur[e.U] != graph.Inf && cur[e.U]+w < next[e.V] && cur[e.U]+w <= cap64 {
-					next[e.V] = cur[e.U] + w
-					changed = true
-				}
-				if cur[e.V] != graph.Inf && cur[e.V]+w < next[e.U] && cur[e.V]+w <= cap64 {
-					next[e.U] = cur[e.V] + w
-					changed = true
-				}
-			}
-			cur, next = next, cur
-			if !changed {
-				break
-			}
-		}
-		for v, bh := range cur {
-			if bh == graph.Inf {
-				continue
-			}
-			if scaled := bh * scale; scaled < out[v] {
-				out[v] = scaled
-			}
-		}
-	}
-	return out
-}
-
 // buildOverlay assembles the Algorithm 4 overlay: complete rounded
 // distances between skeleton nodes, sparsified to the union of each
 // node's k shortest edges, then closed under the Algorithm 5 hop bound
-// ⌈4b/k⌉ by Bellman-Ford on the overlay.
+// ⌈4b/k⌉ by Bellman-Ford on the overlay. All scratch comes from the
+// pooled arena.
 func (sk *Skeleton) buildOverlay() {
+	bufs := sk.bufs
 	b := len(sk.Sources)
-	full := make([][]int64, b)
-	for j, v := range sk.Sources {
-		full[j] = make([]int64, b)
-		row := sk.rows[v]
+	n := bufs.ws.N()
+	bufs.full = growInt64(bufs.full, b*b)
+	full := bufs.full
+	for j := range sk.Sources {
+		row := bufs.rows[j*n : (j+1)*n]
 		for t, u := range sk.Sources {
-			full[j][t] = row[u]
+			full[j*b+t] = row[u]
 		}
 	}
 
 	// Keep edge (j,t) if it is among the k shortest of either endpoint.
-	keep := make([][]bool, b)
-	for j := range keep {
-		keep[j] = make([]bool, b)
+	bufs.keep = growBool(bufs.keep, b*b)
+	keep := bufs.keep
+	for i := range keep {
+		keep[i] = false
 	}
-	order := make([]int, b)
+	bufs.order = growInts(bufs.order, b)
+	order := bufs.order
 	for j := 0; j < b; j++ {
 		for t := range order {
 			order[t] = t
 		}
-		sort.Slice(order, func(a, c int) bool { return full[j][order[a]] < full[j][order[c]] })
+		fr := full[j*b : (j+1)*b]
+		sort.Slice(order, func(a, c int) bool { return fr[order[a]] < fr[order[c]] })
 		kept := 0
 		for _, t := range order {
-			if t == j || full[j][t] == graph.Inf {
+			if t == j || fr[t] == graph.Inf {
 				continue
 			}
-			keep[j][t] = true
-			keep[t][j] = true
+			keep[j*b+t] = true
+			keep[t*b+j] = true
 			kept++
 			if kept >= sk.K {
 				break
@@ -187,9 +180,10 @@ func (sk *Skeleton) buildOverlay() {
 	if lp < 1 {
 		lp = 1
 	}
-	sk.overlay = make([][]int64, b)
-	cur := make([]int64, b)
-	next := make([]int64, b)
+	bufs.overlay = growInt64(bufs.overlay, b*b)
+	bufs.cur = growInt64(bufs.cur, b)
+	bufs.next = growInt64(bufs.next, b)
+	cur, next := bufs.cur, bufs.next
 	for j := 0; j < b; j++ {
 		for t := range cur {
 			cur[t] = graph.Inf
@@ -203,10 +197,10 @@ func (sk *Skeleton) buildOverlay() {
 					continue
 				}
 				for t := 0; t < b; t++ {
-					if !keep[u][t] {
+					if !keep[u*b+t] {
 						continue
 					}
-					if d := cur[u] + full[u][t]; d < next[t] {
+					if d := cur[u] + full[u*b+t]; d < next[t] {
 						next[t] = d
 						changed = true
 					}
@@ -217,20 +211,38 @@ func (sk *Skeleton) buildOverlay() {
 				break
 			}
 		}
-		sk.overlay[j] = append([]int64(nil), cur...)
+		copy(bufs.overlay[j*b:(j+1)*b], cur)
 	}
+	bufs.cur, bufs.next = cur, next
 }
 
 // row returns d̃^ℓ(v, ·), computing and caching it for vertices outside
 // the skeleton (Lemma 3.5 evaluates ẽ at skeleton nodes, but queries at
-// arbitrary vertices are supported for the experiment harness).
+// arbitrary vertices are supported for the experiment harness). Callers
+// must hold sk.mu.
 func (sk *Skeleton) row(v int) []int64 {
-	if r, ok := sk.rows[v]; ok {
-		return r
+	bufs := sk.bufs
+	n := bufs.ws.N()
+	if j := bufs.rowOf[v]; j >= 0 {
+		return bufs.rows[int(j)*n : (int(j)+1)*n]
 	}
-	r := roundedBoundedHopDist(sk.G, v, sk.L, sk.Eps)
-	sk.rows[v] = r
-	return r
+	j := len(bufs.rows) / n
+	if cap(bufs.rows) < (j+1)*n {
+		// Grow geometrically: query sweeps over many non-source vertices
+		// would otherwise copy the whole slab every other row.
+		newCap := 2 * cap(bufs.rows)
+		if newCap < (j+1)*n {
+			newCap = (j + 1) * n
+		}
+		grown := make([]int64, (j+1)*n, newCap)
+		copy(grown, bufs.rows)
+		bufs.rows = grown
+	} else {
+		bufs.rows = bufs.rows[:(j+1)*n]
+	}
+	bufs.scale = sk.roundedRowInto(bufs.ws, bufs.scale, bufs.rows[j*n:(j+1)*n], v)
+	bufs.rowOf[v] = int32(j)
+	return bufs.rows[j*n : (j+1)*n]
 }
 
 // ApproxEccentricity returns the numerator of ẽ_{G,w,i}(v) over DenOut:
@@ -241,17 +253,22 @@ func (sk *Skeleton) row(v int) []int64 {
 // most ℓ hops it is at most (1+ε)·e_{G,w}(v)·DenOut. A value of
 // graph.Inf marks some vertex unreachable within the hop budget.
 func (sk *Skeleton) ApproxEccentricity(v int) int64 {
-	if e, ok := sk.ecc[v]; ok {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	bufs := sk.bufs
+	if e := bufs.ecc[v]; e >= 0 {
 		return e
 	}
 	rowV := sk.row(v)
 	b := len(sk.Sources)
+	n := bufs.ws.N()
 
 	// entry[t]: best known distance from v to skeleton node t — directly
 	// (one rounded ℓ-hop leg) or through the sparsified overlay.
-	entry := make([]int64, b)
-	if j, isSource := sk.idx[v]; isSource {
-		copy(entry, sk.overlay[j])
+	bufs.entry = growInt64(bufs.entry, b)
+	entry := bufs.entry
+	if j := bufs.srcIdx[v]; j >= 0 {
+		copy(entry, bufs.overlay[int(j)*b:(int(j)+1)*b])
 		for t, u := range sk.Sources {
 			if d := rowV[u]; d < entry[t] {
 				entry[t] = d
@@ -265,11 +282,12 @@ func (sk *Skeleton) ApproxEccentricity(v int) int64 {
 			if rowV[u] == graph.Inf {
 				continue
 			}
+			ov := bufs.overlay[j*b : (j+1)*b]
 			for t := 0; t < b; t++ {
-				if sk.overlay[j][t] == graph.Inf {
+				if ov[t] == graph.Inf {
 					continue
 				}
-				if d := rowV[u] + sk.overlay[j][t]; d < entry[t] {
+				if d := rowV[u] + ov[t]; d < entry[t] {
 					entry[t] = d
 				}
 			}
@@ -279,11 +297,11 @@ func (sk *Skeleton) ApproxEccentricity(v int) int64 {
 	var ecc int64
 	for u := 0; u < sk.G.N(); u++ {
 		best := rowV[u]
-		for t, tv := range sk.Sources {
+		for t := range sk.Sources {
 			if entry[t] == graph.Inf {
 				continue
 			}
-			rt := sk.rows[tv]
+			rt := bufs.rows[t*n : (t+1)*n]
 			if rt[u] == graph.Inf {
 				continue
 			}
@@ -299,7 +317,7 @@ func (sk *Skeleton) ApproxEccentricity(v int) int64 {
 			break
 		}
 	}
-	sk.ecc[v] = ecc
+	bufs.ecc[v] = ecc
 	return ecc
 }
 
@@ -335,13 +353,4 @@ func BottomMass(sk *Skeleton, num int64) float64 {
 		}
 	}
 	return float64(hit) / float64(len(sk.Sources))
-}
-
-// maxW returns the maximum edge weight, at least 1.
-func maxW(g *graph.Graph) int64 {
-	w := g.MaxWeight()
-	if w < 1 {
-		w = 1
-	}
-	return w
 }

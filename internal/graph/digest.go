@@ -1,0 +1,30 @@
+package graph
+
+// Digest returns a 64-bit FNV-1a digest of the graph's structure: the
+// node count followed by every edge (U, V, W) in insertion order. Two
+// graphs with the same digest are, modulo hash collisions, the same
+// network — the sketch-serving cache of internal/server keys on this
+// (with the full parameter tuple) so repeated queries against one
+// deployment topology hit the cache. The digest reflects the graph at
+// call time; it is not memoized, so mutating the graph changes it.
+func (g *Graph) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mix(uint64(g.n))
+	for _, e := range g.edges {
+		mix(uint64(e.U))
+		mix(uint64(e.V))
+		mix(uint64(e.W))
+	}
+	return h
+}

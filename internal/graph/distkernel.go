@@ -1,0 +1,333 @@
+package graph
+
+// This file is the multi-source distance kernel: a reusable workspace
+// that answers many shortest-path queries on one graph without
+// re-allocating per call and without scanning the full edge list per
+// Bellman-Ford hop.
+//
+// The naive per-call algorithms in shortestpath.go stay as the
+// readable reference implementations; everything that computes
+// distances from many sources (APSP, eccentricities, the skeleton
+// builds of internal/dist, the sketch-serving layer of
+// internal/server) goes through a DistWorkspace. Results are
+// bit-identical to the reference implementations: the frontier-based
+// Bellman-Ford below is level-synchronous — hop h relaxes only nodes
+// improved during hop h-1, using their end-of-hop-(h-1) values — which
+// computes exactly the same d^l arrays as the full edge scan, because a
+// relaxation from a node whose value did not change last hop was
+// already applied the hop before.
+
+// DistWorkspace is a scratch arena for repeated distance computations
+// on one graph: a flat CSR adjacency (built once, shared by clones),
+// distance/frontier arrays, a BFS queue, and a Dijkstra heap, all
+// reused across calls. A workspace is NOT safe for concurrent use;
+// worker pools give each worker its own Clone (clones share the
+// read-only CSR and own their scratch).
+type DistWorkspace struct {
+	adj *csrAdj
+
+	hops  []int64 // hop-count scratch for DijkstraInto callers
+	fval  []int64 // frontier value snapshot (start-of-hop distances)
+	front []int32 // current frontier
+	next  []int32 // next frontier
+	inNxt []bool  // membership mark for next (sparsely cleared)
+	heap  distHeap
+}
+
+// csrAdj is the flat adjacency shared by a workspace and its clones:
+// node u's directed arcs occupy to[head[u]:head[u+1]] with weights
+// w[head[u]:head[u+1]], in the order AddEdge produced them. maxW is the
+// hoisted maximum edge weight (computed once, not per query).
+type csrAdj struct {
+	n    int
+	head []int32
+	to   []int32
+	w    []int64
+	maxW int64
+}
+
+// NewDistWorkspace builds the CSR adjacency of g and returns a
+// workspace over it. The graph must not gain edges while the workspace
+// is in use.
+func NewDistWorkspace(g *Graph) *DistWorkspace {
+	ws := &DistWorkspace{}
+	ws.Reset(g)
+	return ws
+}
+
+// Reset rebinds the workspace to g, rebuilding the CSR adjacency in
+// place with the existing array capacity. It exists for pooled reuse
+// (internal/dist recycles skeleton build arenas through a sync.Pool):
+// a recycled workspace serves a different graph without re-allocating
+// its arrays. Clones taken before Reset observe the new adjacency —
+// callers must not Reset a workspace whose clones are still in use.
+func (ws *DistWorkspace) Reset(g *Graph) {
+	adj := ws.adj
+	if adj == nil {
+		adj = &csrAdj{}
+		ws.adj = adj
+	}
+	n := g.N()
+	total := 0
+	for u := 0; u < n; u++ {
+		total += g.Degree(u)
+	}
+	adj.n = n
+	if cap(adj.head) < n+1 {
+		adj.head = make([]int32, n+1)
+	} else {
+		adj.head = adj.head[:n+1]
+		adj.head[0] = 0
+	}
+	if cap(adj.to) < total {
+		adj.to = make([]int32, 0, total)
+		adj.w = make([]int64, 0, total)
+	} else {
+		adj.to = adj.to[:0]
+		adj.w = adj.w[:0]
+	}
+	adj.maxW = 0
+	for u := 0; u < n; u++ {
+		for _, a := range g.Neighbors(u) {
+			adj.to = append(adj.to, int32(a.To))
+			adj.w = append(adj.w, a.W)
+			if a.W > adj.maxW {
+				adj.maxW = a.W
+			}
+		}
+		adj.head[u+1] = int32(len(adj.to))
+	}
+}
+
+// Clone returns a workspace sharing this one's read-only CSR adjacency
+// with private scratch, for use on another goroutine.
+func (ws *DistWorkspace) Clone() *DistWorkspace { return &DistWorkspace{adj: ws.adj} }
+
+// N returns the node count of the underlying graph.
+func (ws *DistWorkspace) N() int { return ws.adj.n }
+
+// ArcCount returns the number of directed arcs (2·|E|); per-arc weight
+// overlays passed to BoundedHopInto must have this length.
+func (ws *DistWorkspace) ArcCount() int { return len(ws.adj.to) }
+
+// MaxWeight returns the hoisted maximum edge weight (0 for an edgeless
+// graph), so multi-source callers stop rescanning the edge list per
+// source.
+func (ws *DistWorkspace) MaxWeight() int64 { return ws.adj.maxW }
+
+// ArcWeights copies the CSR arc weights into dst (grown as needed) and
+// returns it: the layout for per-arc weight overlays. dst[a] corresponds
+// to the a-th directed arc in CSR order.
+func (ws *DistWorkspace) ArcWeights(dst []int64) []int64 {
+	dst = growInt64(dst, len(ws.adj.w))
+	copy(dst, ws.adj.w)
+	return dst
+}
+
+// grow helpers keep scratch capacity across calls (and across graphs of
+// different sizes when a workspace is recycled through a pool).
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		s = make([]bool, n)
+	}
+	return s[:n]
+}
+
+// BoundedHopDistInto writes the l-hop distances d^l_{G,w}(src, ·) into
+// dst (grown as needed) and returns it — the workspace counterpart of
+// Graph.BoundedHopDist, with frontier relaxation instead of full edge
+// scans and no per-call allocation at steady state.
+func (ws *DistWorkspace) BoundedHopDistInto(dst []int64, src, l int) []int64 {
+	return ws.BoundedHopInto(dst, src, l, nil, 0, Inf)
+}
+
+// BoundedHopInto is the general bounded-hop kernel: level-synchronous
+// Bellman-Ford from src for at most l hops, where arc a has weight
+// ⌈arcNum[a]/2^shift⌉ (arcNum nil selects the graph's own weights with
+// shift 0), and any relaxation whose tentative distance would exceed
+// cap is discarded. It writes the resulting distances into dst (grown
+// as needed) and returns it; unreached nodes get Inf. The shifted-
+// ceiling weight form is exactly the per-scale rounding of the paper's
+// Algorithm 1 (⌈w·2Tℓ/2^i⌉), hoisted here so the inner loop is an add
+// and a shift instead of a 64-bit division.
+//
+// The hop-h frontier contains exactly the nodes whose distance improved
+// during hop h-1, and relaxations read the snapshotted end-of-hop
+// values, so the output is bit-identical to l full-edge-scan
+// Bellman-Ford rounds (see the file comment). The loop exits as soon as
+// a hop improves nothing.
+func (ws *DistWorkspace) BoundedHopInto(dst []int64, src, l int, arcNum []int64, shift uint, cap64 int64) []int64 {
+	adj := ws.adj
+	n := adj.n
+	if src < 0 || src >= n {
+		panic("graph: BoundedHopInto source out of range")
+	}
+	if arcNum == nil {
+		arcNum = adj.w
+	} else if len(arcNum) != len(adj.to) {
+		panic("graph: BoundedHopInto arc weight overlay has wrong length")
+	}
+	round := int64(1)<<shift - 1
+
+	dst = growInt64(dst, n)
+	for i := range dst {
+		dst[i] = Inf
+	}
+	dst[src] = 0
+
+	ws.front = append(ws.front[:0], int32(src))
+	ws.next = ws.next[:0]
+	ws.inNxt = growBool(ws.inNxt, n)
+
+	for hop := 0; hop < l && len(ws.front) > 0; hop++ {
+		// Snapshot the frontier's start-of-hop values: relaxations during
+		// this hop must not read distances improved this hop (that would
+		// use l+1-hop paths).
+		ws.fval = growInt64(ws.fval, len(ws.front))
+		for i, u := range ws.front {
+			ws.fval[i] = dst[u]
+		}
+		for i, u := range ws.front {
+			du := ws.fval[i]
+			for a := adj.head[u]; a < adj.head[u+1]; a++ {
+				nd := du + (arcNum[a]+round)>>shift
+				v := adj.to[a]
+				if nd < dst[v] && nd <= cap64 {
+					dst[v] = nd
+					if !ws.inNxt[v] {
+						ws.inNxt[v] = true
+						ws.next = append(ws.next, v)
+					}
+				}
+			}
+		}
+		for _, v := range ws.next {
+			ws.inNxt[v] = false
+		}
+		ws.front, ws.next = ws.next, ws.front[:0]
+	}
+	ws.front = ws.front[:0]
+	return dst
+}
+
+// DijkstraInto writes d_{G,w}(src, ·) into dst (grown as needed) and
+// returns it — the workspace counterpart of Graph.Dijkstra. The hop
+// counts the algorithm tracks land in workspace scratch, not a
+// per-call allocation.
+func (ws *DistWorkspace) DijkstraInto(dst []int64, src int) []int64 {
+	dst, ws.hops = ws.DijkstraHopsInto(dst, ws.hops, src)
+	return dst
+}
+
+// DijkstraHopsInto is the workspace counterpart of Graph.DijkstraHops:
+// weighted distances plus exact hop counts of minimum-weight paths
+// (ties on weight broken by hops), with the heap and both output arrays
+// reused across calls.
+func (ws *DistWorkspace) DijkstraHopsInto(dst, hops []int64, src int) ([]int64, []int64) {
+	adj := ws.adj
+	n := adj.n
+	if src < 0 || src >= n {
+		panic("graph: DijkstraHopsInto source out of range")
+	}
+	dst = growInt64(dst, n)
+	hops = growInt64(hops, n)
+	for i := 0; i < n; i++ {
+		dst[i] = Inf
+		hops[i] = Inf
+	}
+	dst[src], hops[src] = 0, 0
+	ws.heap = append(ws.heap[:0], distItem{node: src})
+	for len(ws.heap) > 0 {
+		it := ws.heapPop()
+		if it.d > dst[it.node] || (it.d == dst[it.node] && it.hops > hops[it.node]) {
+			continue
+		}
+		for a := adj.head[it.node]; a < adj.head[it.node+1]; a++ {
+			v := int(adj.to[a])
+			nd, nh := it.d+adj.w[a], it.hops+1
+			if nd < dst[v] || (nd == dst[v] && nh < hops[v]) {
+				dst[v], hops[v] = nd, nh
+				ws.heapPush(distItem{node: v, d: nd, hops: nh})
+			}
+		}
+	}
+	return dst, hops
+}
+
+// heapPush and heapPop are the distHeap sift operations open-coded on
+// the workspace's reusable slice: container/heap would box every
+// distItem into an interface value, allocating per push.
+func (ws *DistWorkspace) heapPush(it distItem) {
+	h := append(ws.heap, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.Less(i, p) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	ws.heap = h
+}
+
+func (ws *DistWorkspace) heapPop() distItem {
+	h := ws.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < last && h.Less(l, least) {
+			least = l
+		}
+		if r < last && h.Less(r, least) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	ws.heap = h
+	return top
+}
+
+// BFSInto writes unweighted hop counts from src into dst (grown as
+// needed) and returns it — the workspace counterpart of Graph.BFS.
+func (ws *DistWorkspace) BFSInto(dst []int64, src int) []int64 {
+	adj := ws.adj
+	n := adj.n
+	if src < 0 || src >= n {
+		panic("graph: BFSInto source out of range")
+	}
+	dst = growInt64(dst, n)
+	for i := range dst {
+		dst[i] = Inf
+	}
+	dst[src] = 0
+	queue := append(ws.front[:0], int32(src))
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for a := adj.head[u]; a < adj.head[u+1]; a++ {
+			v := adj.to[a]
+			if dst[v] == Inf {
+				dst[v] = dst[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	ws.front = queue[:0]
+	return dst
+}

@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// kernelCases is the graph family the workspace kernel is pinned
+// against the reference implementations on: the deterministic shapes
+// plus random weighted topologies (including the E14 spine-leaf fabric
+// and parallel edges, which generators produce transiently).
+func kernelCases() []*Graph {
+	rng := rand.New(rand.NewSource(19))
+	parallel := New(6)
+	parallel.MustAddEdge(0, 1, 3)
+	parallel.MustAddEdge(0, 1, 1) // parallel edge, different weight
+	parallel.MustAddEdge(1, 2, 2)
+	parallel.MustAddEdge(2, 3, 5)
+	parallel.MustAddEdge(3, 4, 1)
+	parallel.MustAddEdge(0, 4, 9)
+	// node 5 isolated: unreachable pairs stay Inf
+	return []*Graph{
+		Path(9),
+		Cycle(7),
+		Star(8),
+		Grid(4, 5),
+		Barbell(5, 4),
+		parallel,
+		RandomWeights(RandomConnected(40, 110, rng), 11, rng),
+		RandomWeights(LowDiameterExpanderish(48, 4, rng), 16, rng),
+		RandomWeights(SpineLeaf(3, 5, 4, 2, 1), 7, rng),
+		RandomWeights(DiameterControlled(36, 6, rng), 9, rng),
+	}
+}
+
+func TestWorkspaceBoundedHopMatchesReference(t *testing.T) {
+	for gi, g := range kernelCases() {
+		ws := NewDistWorkspace(g)
+		var got []int64
+		for src := 0; src < g.N(); src += 1 + g.N()/7 {
+			for _, l := range []int{0, 1, 2, 3, g.N() / 2, g.N(), 3 * g.N()} {
+				want := g.BoundedHopDist(src, l)
+				got = ws.BoundedHopDistInto(got, src, l)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("graph %d: BoundedHopDistInto(%d, %d) diverged from reference", gi, src, l)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkspaceDijkstraMatchesReference(t *testing.T) {
+	for gi, g := range kernelCases() {
+		ws := NewDistWorkspace(g)
+		var d, h []int64
+		for src := 0; src < g.N(); src++ {
+			wantD, wantH := g.DijkstraHops(src)
+			d, h = ws.DijkstraHopsInto(d, h, src)
+			if !reflect.DeepEqual(d, wantD) || !reflect.DeepEqual(h, wantH) {
+				t.Fatalf("graph %d: DijkstraHopsInto(%d) diverged from reference", gi, src)
+			}
+		}
+	}
+}
+
+func TestWorkspaceBFSMatchesReference(t *testing.T) {
+	for gi, g := range kernelCases() {
+		ws := NewDistWorkspace(g)
+		var d []int64
+		for src := 0; src < g.N(); src++ {
+			want := g.BFS(src)
+			d = ws.BFSInto(d, src)
+			if !reflect.DeepEqual(d, want) {
+				t.Fatalf("graph %d: BFSInto(%d) diverged from reference", gi, src)
+			}
+		}
+	}
+}
+
+// TestWorkspaceScaledBoundedHop pins the shifted-ceiling overlay form
+// against a direct Bellman-Ford under pre-rounded weights: the kernel's
+// (num + 2^shift - 1) >> shift must equal relaxing with ⌈num/2^shift⌉.
+func TestWorkspaceScaledBoundedHop(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for gi, g := range kernelCases() {
+		ws := NewDistWorkspace(g)
+		num := ws.ArcWeights(nil)
+		den := int64(2 * 5 * 8) // a 2Tℓ-style common denominator
+		for a := range num {
+			num[a] *= den
+		}
+		for _, shift := range []uint{0, 1, 3, 5} {
+			scaled := g.Reweight(func(w int64) int64 {
+				return (w*den + int64(1)<<shift - 1) >> shift
+			})
+			src := rng.Intn(g.N())
+			l := 1 + rng.Intn(g.N())
+			want := scaled.BoundedHopDist(src, l)
+			got := ws.BoundedHopInto(nil, src, l, num, shift, Inf)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("graph %d shift %d: scaled kernel diverged from reweighted reference", gi, shift)
+			}
+		}
+	}
+}
+
+// TestWorkspaceCapPruning: with a cap, every finite output must be a
+// path length <= cap, and uncapped outputs <= cap must be preserved —
+// the exact pruning contract the rounded-distance scales rely on.
+func TestWorkspaceCapPruning(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := RandomWeights(RandomConnected(30, 70, rng), 13, rng)
+	ws := NewDistWorkspace(g)
+	full := g.BoundedHopDist(4, 12)
+	for _, cap64 := range []int64{1, 5, 20, 100} {
+		got := ws.BoundedHopInto(nil, 4, 12, nil, 0, cap64)
+		for v, dv := range got {
+			if dv != Inf && dv > cap64 {
+				t.Fatalf("cap %d: output %d at node %d exceeds cap", cap64, dv, v)
+			}
+			if full[v] != Inf && full[v] <= cap64 && dv > full[v] {
+				t.Fatalf("cap %d: node %d got %d, reference reaches %d within cap", cap64, v, dv, full[v])
+			}
+		}
+	}
+}
+
+func TestWorkspaceCloneSharesAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := RandomWeights(RandomConnected(25, 60, rng), 8, rng)
+	ws := NewDistWorkspace(g)
+	cl := ws.Clone()
+	if cl.adj != ws.adj {
+		t.Fatal("clone rebuilt the CSR instead of sharing it")
+	}
+	a := ws.DijkstraInto(nil, 3)
+	b := cl.DijkstraInto(nil, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("clone computes different distances")
+	}
+	if ws.ArcCount() != 2*g.M() {
+		t.Fatalf("ArcCount %d != 2m = %d", ws.ArcCount(), 2*g.M())
+	}
+	if ws.MaxWeight() != g.MaxWeight() {
+		t.Fatalf("hoisted MaxWeight %d != %d", ws.MaxWeight(), g.MaxWeight())
+	}
+}
+
+func TestDigestDistinguishesGraphs(t *testing.T) {
+	a := Path(6)
+	b := Path(6)
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical graphs digest differently")
+	}
+	c := Path(7)
+	if a.Digest() == c.Digest() {
+		t.Fatal("different sizes digest equal")
+	}
+	d := Path(6)
+	d.MustAddEdge(0, 5, 3)
+	if a.Digest() == d.Digest() {
+		t.Fatal("extra edge not reflected in digest")
+	}
+	rng := rand.New(rand.NewSource(37))
+	e := RandomWeights(Path(6), 9, rng)
+	if a.Digest() == e.Digest() {
+		t.Fatal("weights not reflected in digest")
+	}
+}

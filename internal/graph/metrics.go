@@ -11,11 +11,16 @@ func (g *Graph) Eccentricity(u int) int64 {
 	return maxOf(g.Dijkstra(u))
 }
 
-// Eccentricities returns e_{G,w}(u) for every node u.
+// Eccentricities returns e_{G,w}(u) for every node u. The n Dijkstra
+// runs share one DistWorkspace, so the sweep allocates two arrays
+// total instead of per source.
 func (g *Graph) Eccentricities() []int64 {
 	out := make([]int64, g.n)
+	ws := NewDistWorkspace(g)
+	var d []int64
 	for u := 0; u < g.n; u++ {
-		out[u] = g.Eccentricity(u)
+		d = ws.DijkstraInto(d, u)
+		out[u] = maxOf(d)
 	}
 	return out
 }
@@ -63,8 +68,11 @@ func (g *Graph) UnweightedEccentricity(u int) int64 {
 // unweighted network. This is the parameter D in the paper's round bounds.
 func (g *Graph) UnweightedDiameter() int64 {
 	var d int64
+	ws := NewDistWorkspace(g)
+	var bfs []int64
 	for u := 0; u < g.n; u++ {
-		if e := g.UnweightedEccentricity(u); e > d {
+		bfs = ws.BFSInto(bfs, u)
+		if e := maxOf(bfs); e > d {
 			d = e
 		}
 	}
@@ -74,8 +82,11 @@ func (g *Graph) UnweightedDiameter() int64 {
 // UnweightedRadius returns the radius under w* = 1.
 func (g *Graph) UnweightedRadius() int64 {
 	r := Inf
+	ws := NewDistWorkspace(g)
+	var bfs []int64
 	for u := 0; u < g.n; u++ {
-		if e := g.UnweightedEccentricity(u); e < r {
+		bfs = ws.BFSInto(bfs, u)
+		if e := maxOf(bfs); e < r {
 			r = e
 		}
 	}
@@ -86,8 +97,10 @@ func (g *Graph) UnweightedRadius() int64 {
 // edge count among minimum-weight paths (§3.1).
 func (g *Graph) HopDiameter() int64 {
 	var h int64
+	ws := NewDistWorkspace(g)
+	var d, hops []int64
 	for u := 0; u < g.n; u++ {
-		_, hops := g.DijkstraHops(u)
+		d, hops = ws.DijkstraHopsInto(d, hops, u)
 		if m := maxOf(hops); m > h {
 			h = m
 		}

@@ -141,11 +141,13 @@ func (g *Graph) BoundedDistanceSSSP(src int, limit int64) []int64 {
 	return d
 }
 
-// APSP returns the full distance matrix via n Dijkstra runs.
+// APSP returns the full distance matrix via n Dijkstra runs sharing one
+// DistWorkspace.
 func (g *Graph) APSP() [][]int64 {
 	out := make([][]int64, g.n)
+	ws := NewDistWorkspace(g)
 	for s := 0; s < g.n; s++ {
-		out[s] = g.Dijkstra(s)
+		out[s] = ws.DijkstraInto(nil, s)
 	}
 	return out
 }
@@ -153,8 +155,10 @@ func (g *Graph) APSP() [][]int64 {
 // HopAPSP returns the full hop-distance matrix h_{G,w}(u, v).
 func (g *Graph) HopAPSP() [][]int64 {
 	out := make([][]int64, g.n)
+	ws := NewDistWorkspace(g)
+	var d []int64
 	for s := 0; s < g.n; s++ {
-		_, out[s] = g.DijkstraHops(s)
+		d, out[s] = ws.DijkstraHopsInto(d, nil, s)
 	}
 	return out
 }

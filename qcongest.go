@@ -23,6 +23,7 @@ import (
 	"qcongest/internal/baseline"
 	"qcongest/internal/congest"
 	"qcongest/internal/core"
+	"qcongest/internal/dist"
 	"qcongest/internal/gadget"
 	"qcongest/internal/graph"
 	"qcongest/internal/server"
@@ -100,6 +101,30 @@ var (
 	DecideDiameterRed = server.DecideDiameter
 	DecideRadiusRed   = server.DecideRadius
 )
+
+// Sketch-serving layer: repeated distance queries against a fixed
+// topology are answered from a bounded LRU cache of Lemma 3.2
+// skeletons with single-flight deduplication (DESIGN.md §3.6).
+type (
+	// SketchCache is the bounded, thread-safe skeleton cache.
+	SketchCache = server.SketchCache
+	// CacheStats is a snapshot of cache effectiveness counters.
+	CacheStats = server.CacheStats
+	// Skeleton answers approximate eccentricity queries ẽ_{G,w,i}(·).
+	Skeleton = dist.Skeleton
+	// Eps is the paper's rounding parameter ε = 1/T.
+	Eps = dist.Eps
+)
+
+// Sketch-serving constructors and parameter helpers.
+var (
+	NewSketchCache = server.NewSketchCache
+	EpsForN        = dist.EpsForN
+	BuildSkeleton  = dist.BuildSkeletonWith
+)
+
+// SketchOpts configure a skeleton build (worker fan-out).
+type SketchOpts = dist.BuildSkeletonOpts
 
 // SimOptions configure a CONGEST simulation run.
 type SimOptions = congest.Options
