@@ -1,0 +1,87 @@
+// Command qcongestd is the serving daemon: a long-running HTTP/JSON
+// service over the graph registry and sketch cache (internal/svc).
+// See API.md for the endpoint reference and DESIGN.md §8 for the
+// architecture.
+//
+// Usage:
+//
+//	qcongestd -addr 127.0.0.1:8080 -cache 64 -buildslots 2 -distworkers 0
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: /healthz flips to
+// 503 "draining", in-flight requests finish (up to -draintimeout), and
+// the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qcongest/internal/svc"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		cache        = flag.Int("cache", 64, "sketch cache capacity (skeletons)")
+		distWorkers  = flag.Int("distworkers", 0, "worker fan-out per skeleton build (0 = dist.DefaultSkeletonWorkers)")
+		buildSlots   = flag.Int("buildslots", 2, "concurrent cold builds (sketch/batch/first-touch metrics)")
+		buildQueue   = flag.Int("buildqueue", 0, "queued cold builds before 503 (0 = 4x buildslots)")
+		querySlots   = flag.Int("queryslots", 256, "concurrent warm reads")
+		maxGraphs    = flag.Int("maxgraphs", 128, "graph registry capacity")
+		maxNodes     = flag.Int("maxnodes", 0, "max nodes per registered graph (0 = 1<<17)")
+		maxBatch     = flag.Int("maxbatch", 64, "max jobs per /v1/batch call")
+		maxBatchN    = flag.Int("maxbatchnodes", 0, "max graph size per batch APSP job (0 = 4096)")
+		drainTimeout = flag.Duration("draintimeout", 15*time.Second, "graceful shutdown deadline")
+	)
+	flag.Parse()
+
+	s := svc.New(svc.Config{
+		CacheCapacity: *cache,
+		SketchWorkers: *distWorkers,
+		BuildSlots:    *buildSlots,
+		BuildQueue:    *buildQueue,
+		QuerySlots:    *querySlots,
+		MaxGraphs:     *maxGraphs,
+		MaxNodes:      *maxNodes,
+		MaxBatch:      *maxBatch,
+		MaxBatchNodes: *maxBatchN,
+	})
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+	log.Printf("qcongestd: serving on http://%s (cache=%d buildslots=%d)", *addr, *cache, *buildSlots)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("qcongestd: listener failed: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("qcongestd: draining (deadline %s)", *drainTimeout)
+	s.SetHealthy(false)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("qcongestd: shutdown: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("qcongestd: serve: %v", err)
+	}
+	fmt.Println("qcongestd: shut down cleanly")
+}

@@ -1,0 +1,236 @@
+// Command qload is the load generator for qcongestd: it registers a
+// workload graph, fires a configurable request mix at the daemon from
+// concurrent workers, and reports sustained throughput and latency
+// quantiles (optionally as JSON for BENCH_svc.json).
+//
+// Mixes:
+//
+//	warm   primes one sketch and the exact metrics, then issues only
+//	       cache-hit reads (diameter/radius/eccentricity/sketch on the
+//	       primed key) — the steady-state serving regime.
+//	cold   every request is a sketch with a fresh source set, so every
+//	       request is a build and the cache churns under eviction.
+//	mixed  80% warm reads, 20% cold builds — the admission-control
+//	       regime where builds must not starve reads.
+//
+// qload exits non-zero if any request draws a 5xx or if no request
+// succeeds, which is what the CI smoke step asserts.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qcongest/internal/svc"
+)
+
+// report is the JSON summary (-out) of one run.
+type report struct {
+	Mix             string  `json:"mix"`
+	Concurrency     int     `json:"concurrency"`
+	Requests        int64   `json:"requests"`
+	Errors4xx       int64   `json:"errors4xx"`
+	Errors5xx       int64   `json:"errors5xx"`
+	Saturated503    int64   `json:"saturated503"`
+	DurationSeconds float64 `json:"durationSeconds"`
+	QPS             float64 `json:"qps"`
+	P50Ms           float64 `json:"p50Ms"`
+	P99Ms           float64 `json:"p99Ms"`
+	CacheHitRate    float64 `json:"cacheHitRate"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+		mix      = flag.String("mix", "warm", "request mix: warm, cold, or mixed")
+		conc     = flag.Int("c", 8, "concurrent workers")
+		requests = flag.Int("requests", 200, "total requests (ignored when -duration > 0)")
+		duration = flag.Duration("duration", 0, "run for a fixed wall-clock time instead of a request count")
+		n        = flag.Int("n", 256, "workload graph size")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		out      = flag.String("out", "", "write the JSON report to this file")
+	)
+	flag.Parse()
+	if *mix != "warm" && *mix != "cold" && *mix != "mixed" {
+		log.Fatalf("qload: unknown -mix %q", *mix)
+	}
+
+	client := svc.NewClient(*addr)
+	waitHealthy(client)
+
+	up, err := client.Generate(svc.GenSpec{Kind: "lowdiameter", N: *n, AvgDeg: 4, MaxW: 16, Seed: *seed})
+	if err != nil {
+		log.Fatalf("qload: registering workload graph: %v", err)
+	}
+	digest := up.Digest
+	warmSketch := svc.SketchRequest{Sources: []int{0, 1, 2, 3}, L: 8, K: 4}
+
+	// Prime the warm paths so the warm mix measures steady state.
+	if *mix != "cold" {
+		if _, err := client.Diameter(digest); err != nil {
+			log.Fatalf("qload: priming metrics: %v", err)
+		}
+		if _, err := client.Sketch(digest, warmSketch); err != nil {
+			log.Fatalf("qload: priming sketch: %v", err)
+		}
+	}
+
+	var (
+		next            atomic.Int64
+		err4, err5, sat atomic.Int64
+		deadline        time.Time
+	)
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	stop := func(i int64) bool {
+		if *duration > 0 {
+			return time.Now().After(deadline)
+		}
+		return i >= int64(*requests)
+	}
+
+	// coldSketch derives a distinct source set (hence a distinct cache
+	// key) from the request index.
+	coldSketch := func(i int64) svc.SketchRequest {
+		base := int(i % int64(*n))
+		return svc.SketchRequest{
+			Sources: []int{base, (base + 7) % *n, (base + 13) % *n},
+			L:       8,
+			K:       3,
+		}
+	}
+
+	oneRequest := func(i int64) error {
+		kind := i % 10
+		switch *mix {
+		case "cold":
+			_, err := client.Sketch(digest, coldSketch(i))
+			return err
+		case "mixed":
+			if kind < 2 {
+				_, err := client.Sketch(digest, coldSketch(i))
+				return err
+			}
+		}
+		switch kind % 4 {
+		case 0:
+			_, err := client.Diameter(digest)
+			return err
+		case 1:
+			_, err := client.Radius(digest)
+			return err
+		case 2:
+			_, err := client.Eccentricity(digest, int(i)%*n)
+			return err
+		default:
+			_, err := client.Sketch(digest, warmSketch)
+			return err
+		}
+	}
+
+	latencies := make([][]time.Duration, *conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if stop(i) {
+					return
+				}
+				t0 := time.Now()
+				err := oneRequest(i)
+				latencies[w] = append(latencies[w], time.Since(t0))
+				var se *svc.StatusError
+				if errors.As(err, &se) {
+					switch {
+					case se.Code == 503:
+						sat.Add(1)
+					case se.Code >= 500:
+						err5.Add(1)
+					default:
+						err4.Add(1)
+					}
+				} else if err != nil {
+					err5.Add(1) // transport failure: treat as a server-side loss
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	quantile := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(q * float64(len(all)-1))
+		return float64(all[idx]) / float64(time.Millisecond)
+	}
+
+	rep := report{
+		Mix:             *mix,
+		Concurrency:     *conc,
+		Requests:        int64(len(all)),
+		Errors4xx:       err4.Load(),
+		Errors5xx:       err5.Load(),
+		Saturated503:    sat.Load(),
+		DurationSeconds: elapsed.Seconds(),
+		QPS:             float64(len(all)) / elapsed.Seconds(),
+		P50Ms:           quantile(0.50),
+		P99Ms:           quantile(0.99),
+	}
+	if m, err := client.Metrics(); err == nil {
+		rep.CacheHitRate = m.Cache.HitRate
+	}
+
+	fmt.Printf("qload %s: %d requests in %.2fs — %.1f qps, p50 %.3fms, p99 %.3fms (4xx=%d 5xx=%d 503=%d, cache hit rate %.3f)\n",
+		rep.Mix, rep.Requests, rep.DurationSeconds, rep.QPS, rep.P50Ms, rep.P99Ms,
+		rep.Errors4xx, rep.Errors5xx, rep.Saturated503, rep.CacheHitRate)
+
+	if *out != "" {
+		raw, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			log.Fatalf("qload: writing %s: %v", *out, err)
+		}
+	}
+	success := rep.Requests - rep.Errors4xx - rep.Errors5xx - rep.Saturated503
+	if rep.Errors5xx > 0 {
+		log.Fatalf("qload: FAILED — %d requests drew 5xx", rep.Errors5xx)
+	}
+	if success <= 0 {
+		log.Fatalf("qload: FAILED — no request succeeded")
+	}
+}
+
+// waitHealthy polls /healthz until the daemon answers ok (the CI smoke
+// starts qload right after the daemon process).
+func waitHealthy(c *svc.Client) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h, err := c.Health()
+		if err == nil && h.Status == "ok" {
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("qload: daemon never became healthy: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,78 @@
+// The service walk-through: start an in-process qcongestd handler,
+// register a spine-leaf datacenter fabric through the typed client, and
+// run the full query round trip — exact metrics, a cached sketch, and a
+// batch APSP sweep — printing the cache counters at the end.
+//
+// Against a separately launched daemon (cmd/qcongestd), drop the
+// httptest server and point qcongest.NewServiceClient at its address.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"qcongest"
+)
+
+func main() {
+	// In-process daemon; swap for a real deployment's URL in production.
+	srv := httptest.NewServer(qcongest.NewService(qcongest.ServiceConfig{CacheCapacity: 8}))
+	defer srv.Close()
+	client := qcongest.NewServiceClient(srv.URL)
+
+	// Register a two-tier leaf-spine fabric server-side: 4 spines, 8
+	// leaves, 8 hosts per leaf, random weights in [1, 16].
+	up, err := client.Generate(qcongest.GenSpec{
+		Kind: "spineleaf", Spines: 4, Leaves: 8, Hosts: 8, MaxW: 16, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered %s: n=%d m=%d W=%d (created=%v)\n",
+		up.Digest, up.N, up.M, up.MaxWeight, up.Created)
+
+	// Exact metrics are memoized per graph after the first touch.
+	diam, err := client.Diameter(up.Digest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rad, err := client.Radius(up.Digest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact weighted diameter %d, radius %d\n", diam, rad)
+
+	// A Lemma 3.2 sketch: approximate eccentricities of the spine
+	// switches through the skeleton of sources {0,1,2,3}. The second
+	// call is a cache hit answering from memory.
+	req := qcongest.SketchRequest{Sources: []int{0, 1, 2, 3}, L: 8, K: 4}
+	sk, err := client.Sketch(up.Digest, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range sk.Eccentricities {
+		fmt.Printf("  ẽ(%d) = %d/%d\n", e.V, e.Num, sk.Den)
+	}
+	if _, err := client.Sketch(up.Digest, req); err != nil {
+		log.Fatal(err)
+	}
+
+	// Batch: the classical APSP baseline over the same fabric twice,
+	// riding congest.RunBatch on the daemon.
+	batch, err := client.Batch(qcongest.BatchRequest{Digests: []string{up.Digest, up.Digest}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range batch.Results {
+		fmt.Printf("batch %s: diameter %d radius %d in %d rounds\n",
+			r.Digest, r.Diameter, r.Radius, r.Rounds)
+	}
+
+	m, err := client.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cache: %d hits, %d misses, hit rate %.2f\n",
+		m.Cache.Hits, m.Cache.Misses, m.Cache.HitRate)
+}

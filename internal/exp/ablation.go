@@ -11,17 +11,17 @@ import (
 // AblationPoint is one run of the core algorithm with a perturbed
 // parameter choice.
 type AblationPoint struct {
-	Label      string
-	Params     core.Params
-	Rounds     int64
-	Ratio      float64 // estimate / truth
-	Undershoot bool    // search landed outside the good mass
+	Label      string      // human-readable variant name (e.g. "r=12 (×0.5)")
+	Params     core.Params // the perturbed parameter choice this point ran with
+	Rounds     int64       // measured rounds under the variant
+	Ratio      float64     // estimate / truth
+	Undershoot bool        // search landed outside the good mass
 }
 
 // AblationReport groups the sweep for one knob.
 type AblationReport struct {
-	Knob   string
-	Points []AblationPoint
+	Knob   string          // the perturbed parameter ("r", "k", or "eps")
+	Points []AblationPoint // one point per variant, in sweep order
 }
 
 // ablate runs the algorithm on one workload per parameter variant.

@@ -43,6 +43,8 @@ func concurrently(k int, f func(i int) error) error {
 // SpineLeafConfig describes one two-tier datacenter fabric scale for the
 // E14 sweep (see graph.SpineLeaf for the node layout).
 type SpineLeafConfig struct {
+	// Spines, Leaves, Hosts parameterize graph.SpineLeaf: spine switch
+	// count, leaf switch count, and hosts per leaf.
 	Spines, Leaves, Hosts int
 }
 
@@ -50,10 +52,10 @@ type SpineLeafConfig struct {
 // randomly weighted spine-leaf fabric.
 type SpineLeafPoint struct {
 	SpineLeafConfig
-	N               int
-	D               int
-	QuantumRounds   int64
-	ClassicalRounds int64
+	N               int     // total node count of the fabric
+	D               int     // measured unweighted diameter (≤ 4 by construction)
+	QuantumRounds   int64   // measured Theorem 1.1 rounds
+	ClassicalRounds int64   // measured APSP baseline rounds
 	TheoremQ        float64 // n^0.9 · D^0.3 (uncapped)
 }
 

@@ -18,9 +18,9 @@ import (
 
 // Fit is a least-squares fit of log(y) = Slope·log(x) + Intercept.
 type Fit struct {
-	Slope     float64
-	Intercept float64
-	R2        float64
+	Slope     float64 // the power-law exponent
+	Intercept float64 // log of the power-law constant
+	R2        float64 // coefficient of determination of the log-log fit
 }
 
 // FitLogLog fits a power law y ≈ c·x^Slope to the points.
@@ -58,8 +58,8 @@ func FitLogLog(xs, ys []float64) Fit {
 
 // ScalingPoint is one measurement of the core algorithm.
 type ScalingPoint struct {
-	N, D    int
-	Rounds  int64
+	N, D    int     // workload size and measured unweighted diameter
+	Rounds  int64   // measured rounds of the full nested search
 	Budget  int64   // the outer Lemma 3.1 fixed budget for the same run
 	Theorem float64 // min{n^0.9 D^0.3, n}
 }
@@ -156,9 +156,9 @@ func ScalingInD(n int, ds []int, mode core.Mode, seed int64) ([]ScalingPoint, Fi
 
 // CrossPoint compares quantum and classical rounds at one (n, D).
 type CrossPoint struct {
-	N, D            int
-	QuantumRounds   int64
-	ClassicalRounds int64
+	N, D            int     // workload size and measured unweighted diameter
+	QuantumRounds   int64   // measured Theorem 1.1 rounds
+	ClassicalRounds int64   // measured APSP baseline rounds on the same graph
 	TheoremQ        float64 // n^0.9 D^0.3 (uncapped)
 	CrossoverD      float64 // n^(1/3)
 }
@@ -201,13 +201,13 @@ func Crossover(n int, ds []int, seed int64) ([]CrossPoint, error) {
 
 // QualityReport summarizes the approximation-quality experiment (E5).
 type QualityReport struct {
-	Trials        int
-	Mode          core.Mode
-	WorstRatio    float64 // max estimate/truth
-	MeanRatio     float64
-	EpsBound      float64 // (1+ε)²
-	Undershoots   int     // estimate < truth (search landed outside the good mass)
-	GoodScaleFail int
+	Trials        int       // number of independent runs aggregated
+	Mode          core.Mode // metric approximated (diameter or radius)
+	WorstRatio    float64   // max estimate/truth
+	MeanRatio     float64   // mean estimate/truth
+	EpsBound      float64   // (1+ε)²
+	Undershoots   int       // estimate < truth (search landed outside the good mass)
+	GoodScaleFail int       // runs whose chosen scale missed the good-index promise
 }
 
 // Quality runs repeated approximations on random weighted graphs and
@@ -266,10 +266,10 @@ func Quality(trials, n int, mode core.Mode, seed int64) (QualityReport, error) {
 
 // Table1Entry is one measured row of the E1 experiment.
 type Table1Entry struct {
-	Label    string
-	N, D     int
-	Measured int64
-	Analytic float64
+	Label    string  // the Table 1 row name
+	N, D     int     // workload size and measured unweighted diameter
+	Measured int64   // measured rounds on the shared workload
+	Analytic float64 // the row's Õ(·) shape evaluated with constant 1
 }
 
 // MeasuredTable1 runs every executable Table 1 row on one workload and

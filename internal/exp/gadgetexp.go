@@ -23,9 +23,9 @@ func GadgetInputs(h int, force bool, seed int64) (*gadget.Input, *gadget.Input, 
 
 // Fig1Report summarizes the E6 structural experiment.
 type Fig1Report struct {
-	H         int
-	Structure gadget.StructureReport
-	Err       error
+	H         int                    // the height parameter checked
+	Structure gadget.StructureReport // measured structural invariants
+	Err       error                  // non-nil when construction or checking failed
 }
 
 // Figure1Suite builds the base construction for a range of h and checks
@@ -164,10 +164,10 @@ func SimulationExperiment(h int, seed int64) (server.Report, error) {
 
 // ReductionReport is one E11 end-to-end reduction outcome.
 type ReductionReport struct {
-	H        int
-	Radius   bool
-	Outcome  server.ReductionOutcome
-	LowerBnd float64
+	H        int                     // the gadget height parameter
+	Radius   bool                    // true for the Theorem 4.8 radius reduction
+	Outcome  server.ReductionOutcome // the decision rule's result vs truth
+	LowerBnd float64                 // the Theorem 4.2 round bound shape for this n
 }
 
 // ReductionExperiment runs E11 for both metrics over several inputs.
@@ -211,11 +211,11 @@ func ReductionExperiment(h, trials int, seed int64) ([]ReductionReport, error) {
 
 // FormulaReport summarizes E13.
 type FormulaReport struct {
-	H          int
-	FSize      int
-	FReadOnce  bool
-	FpReadOnce bool
-	VEROk      bool
+	H          int  // the Eq. (2) parameter the formulas were built for
+	FSize      int  // leaf count of F (must equal 2^s·ℓ)
+	FReadOnce  bool // F is read-once (Lemma 4.6 hypothesis)
+	FpReadOnce bool // F′ is read-once
+	VEROk      bool // VER embeds in GDT on the whole promise domain
 }
 
 // FormulaExperiment instantiates the Lemma 4.5-4.7 machinery (E13).

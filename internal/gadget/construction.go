@@ -12,31 +12,39 @@ import (
 // (radius). Node identities for every named vertex of the paper are
 // retained so experiments can reference them directly.
 type Construction struct {
+	// G is the assembled weighted network.
 	G *graph.Graph
 
 	// Parameters (Eq. 2): h even, s = 3h/2, ℓ = 2^(s−h).
 	H, S, L int
-	Alpha   int64
-	Beta    int64
+	// Alpha and Beta are the two gadget weights α < β (the theorems use
+	// α = n², β = 2n²).
+	Alpha, Beta int64
 
-	// Figure 1 base. Tree[i][j] is t_{i+0,j+1} (depth i, 0-based column);
-	// Paths[i][j] is p_{i+1,j+1}.
-	Tree  [][]int
+	// Tree is the Figure 1 binary tree: Tree[i][j] is t_{i+0,j+1}
+	// (depth i, 0-based column).
+	Tree [][]int
+	// Paths holds the Figure 1 paths: Paths[i][j] is p_{i+1,j+1}.
 	Paths [][]int
 
-	// Alice side: A[i] is a_{i+1}; A01[i][c] is a^c_{i+1}; AStar[j] is
-	// a*_{j+1}. AZero is the radius hub a_0 (−1 for the diameter gadget).
-	A     []int
-	A01   [][2]int
+	// A is the Alice row vertices: A[i] is a_{i+1}.
+	A []int
+	// A01 is Alice's selector pairs: A01[i][c] is a^c_{i+1}.
+	A01 [][2]int
+	// AStar is Alice's star vertices: AStar[j] is a*_{j+1}.
 	AStar []int
+	// AZero is the radius hub a_0 (−1 for the diameter gadget).
 	AZero int
 
-	// Bob side, mirroring Alice.
-	B     []int
-	B01   [][2]int
+	// B is the Bob row vertices, mirroring A.
+	B []int
+	// B01 is Bob's selector pairs, mirroring A01.
+	B01 [][2]int
+	// BStar is Bob's star vertices, mirroring AStar.
 	BStar []int
 
-	// Partition for the Server-model simulation.
+	// VS, VA, VB partition the nodes for the Server-model simulation
+	// (server / Alice / Bob initial ownership).
 	VS, VA, VB []int
 }
 

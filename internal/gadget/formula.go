@@ -23,8 +23,12 @@ const (
 // variable index appears exactly once (ReadOnce verifies this), which is
 // the hypothesis of the approximate-degree bound (Lemma 4.6).
 type Formula struct {
-	Op       Op
-	Var      int // for OpVar
+	// Op is the node kind (variable, negation, conjunction, disjunction).
+	Op Op
+	// Var is the variable index (meaningful for OpVar only).
+	Var int
+	// Children are the sub-formulas (one for OpNot, any number for
+	// OpAnd/OpOr, none for OpVar).
 	Children []*Formula
 }
 
@@ -103,6 +107,7 @@ func (f *Formula) Size() int { return len(f.Vars()) }
 type Input struct {
 	Rows int // 2^s
 	Cols int // ℓ
+	// Bits is the row-major bit matrix; use Get/Set for (i, j) access.
 	Bits []bool
 }
 

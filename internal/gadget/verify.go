@@ -8,9 +8,10 @@ type GapReport struct {
 	Metric    int64 // exact D_{G,w} or R_{G,w}
 	YesBound  int64 // max{2α, β} + n: upper bound when the function is 1
 	NoBound   int64 // min{α+β, 3α}: lower bound when the function is 0
-	Satisfied bool
+	Satisfied bool  // the dichotomy held for this input
 }
 
+// String summarizes the verification outcome on one line.
 func (r GapReport) String() string {
 	return fmt.Sprintf("F=%v metric=%d yes<=%d no>=%d ok=%v", r.FValue, r.Metric, r.YesBound, r.NoBound, r.Satisfied)
 }
@@ -51,12 +52,15 @@ func (c *Construction) VerifyLemma49(x, y *Input) GapReport {
 
 // Table2Violation describes one failed row of Table 2.
 type Table2Violation struct {
-	Row  string
+	// Row names the Table 2 row that failed (e.g. "t-router").
+	Row string
+	// U and V are the violating contracted-graph node pair.
 	U, V int
-	Dist int64
-	Want int64
+	// Dist is the measured distance; Want is the row's bound.
+	Dist, Want int64
 }
 
+// String formats the violation as the failed inequality.
 func (v Table2Violation) String() string {
 	return fmt.Sprintf("table2 %s: d(%d,%d) = %d > %d", v.Row, v.U, v.V, v.Dist, v.Want)
 }
@@ -154,11 +158,15 @@ func (c *Construction) CheckTable2(x, y *Input) []Table2Violation {
 
 // StructureReport summarizes the Figure 1/2 structural invariants.
 type StructureReport struct {
-	N                  int
-	NFormula           int
+	// N is the constructed node count; NFormula is the paper's closed
+	// form it must equal.
+	N, NFormula int
+	// UnweightedDiameter is D of the gadget, which must be Θ(h).
 	UnweightedDiameter int64
-	H                  int
-	Connected          bool
+	// H is the height parameter the construction was built for.
+	H int
+	// Connected reports connectivity of the gadget network.
+	Connected bool
 }
 
 // CheckStructure verifies the closed-form node count, connectivity, and

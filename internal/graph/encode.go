@@ -1,0 +1,101 @@
+package graph
+
+// This file is the wire codec for the service upload path (internal/svc):
+// a line-oriented edge-list format that round-trips a Graph exactly —
+// including edge insertion order, which Digest hashes — so a graph
+// uploaded to one daemon and re-exported from another keeps its digest.
+//
+// Format, one record per line:
+//
+//	# anything after '#' is a comment
+//	n <nodes>
+//	<u> <v> <w>
+//
+// The "n" header must come first (blank and comment lines may precede
+// it); every following non-empty line is one undirected edge. Fields are
+// separated by any run of spaces or tabs.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FormatEdgeList renders g in the edge-list wire format. The output
+// parses back (ParseEdgeList) to a graph with the same node count, the
+// same edges in the same insertion order, and therefore the same Digest.
+func FormatEdgeList(g *Graph) []byte {
+	var b strings.Builder
+	b.Grow(16 + 24*len(g.edges))
+	b.WriteString("n ")
+	b.WriteString(strconv.Itoa(g.n))
+	b.WriteByte('\n')
+	for _, e := range g.edges {
+		b.WriteString(strconv.Itoa(e.U))
+		b.WriteByte(' ')
+		b.WriteString(strconv.Itoa(e.V))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(e.W, 10))
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// ParseEdgeList parses the edge-list wire format produced by
+// FormatEdgeList (or written by hand). Errors carry the 1-based line
+// number. Edge validation is AddEdge's: endpoints in range, no self
+// loops, weights >= 1.
+func ParseEdgeList(data []byte) (*Graph, error) {
+	return ParseEdgeListLimits(data, 0, 0)
+}
+
+// ParseEdgeListLimits is ParseEdgeList with hard size bounds checked
+// before anything is allocated: a header node count above maxNodes (or
+// an edge count crossing maxEdges) fails immediately, so an untrusted
+// few-byte input cannot request an enormous adjacency allocation.
+// Limits <= 0 are unbounded.
+func ParseEdgeListLimits(data []byte, maxNodes, maxEdges int) (*Graph, error) {
+	var g *Graph
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if g == nil {
+			if len(fields) != 2 || fields[0] != "n" {
+				return nil, fmt.Errorf("graph: line %d: expected header \"n <nodes>\", got %q", lineNo+1, line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad node count %q", lineNo+1, fields[1])
+			}
+			if maxNodes > 0 && n > maxNodes {
+				return nil, fmt.Errorf("graph: line %d: node count %d exceeds limit %d", lineNo+1, n, maxNodes)
+			}
+			g = New(n)
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: expected \"<u> <v> <w>\", got %q", lineNo+1, line)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		w, err3 := strconv.ParseInt(fields[2], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("graph: line %d: non-numeric edge %q", lineNo+1, line)
+		}
+		if maxEdges > 0 && g.M() >= maxEdges {
+			return nil, fmt.Errorf("graph: line %d: edge count exceeds limit %d", lineNo+1, maxEdges)
+		}
+		if err := g.AddEdge(u, v, w); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo+1, err)
+		}
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty edge list (missing \"n <nodes>\" header)")
+	}
+	return g, nil
+}

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestEdgeListRoundTrip checks that FormatEdgeList/ParseEdgeList
+// preserve the node count, the edge insertion order, and therefore the
+// digest — the property the service upload path depends on.
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, g := range []*Graph{
+		New(0),
+		New(3),
+		Path(17),
+		RandomWeights(LowDiameterExpanderish(64, 4, rng), 100, rng),
+		SpineLeaf(3, 4, 5, 2, 7),
+	} {
+		got, err := ParseEdgeList(FormatEdgeList(g))
+		if err != nil {
+			t.Fatalf("round trip of %v failed: %v", g, err)
+		}
+		if got.N() != g.N() || got.M() != g.M() {
+			t.Fatalf("round trip of %v changed shape: got %v", g, got)
+		}
+		if got.Digest() != g.Digest() {
+			t.Fatalf("round trip of %v changed digest: %x != %x", g, got.Digest(), g.Digest())
+		}
+	}
+}
+
+// TestParseEdgeListFormat checks comment and whitespace handling.
+func TestParseEdgeListFormat(t *testing.T) {
+	g, err := ParseEdgeList([]byte("# header comment\n\n  n   4 \n0 1 2 # trailing\n\t2 3\t9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 2 {
+		t.Fatalf("parsed wrong shape: %v", g)
+	}
+	if w, ok := g.HasEdge(2, 3); !ok || w != 9 {
+		t.Fatalf("edge {2,3}: got (%d, %v)", w, ok)
+	}
+}
+
+// TestParseEdgeListErrors checks that malformed inputs are rejected
+// with the offending line number.
+func TestParseEdgeListErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name, in, want string
+	}{
+		{"empty", "", "missing"},
+		{"no header", "0 1 2\n", "header"},
+		{"bad count", "n -3\n", "bad node count"},
+		{"short edge", "n 4\n0 1\n", "line 2"},
+		{"non-numeric", "n 4\n0 one 2\n", "line 2"},
+		{"self loop", "n 4\n1 1 2\n", "self loop"},
+		{"out of range", "n 2\n0 5 1\n", "out of range"},
+		{"zero weight", "n 3\n0 1 0\n", "non-positive weight"},
+	} {
+		_, err := ParseEdgeList([]byte(tc.in))
+		if err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -31,12 +31,13 @@ import (
 // Evaluation unitary: the simulator computes f(x) locally, while the round
 // ledger charges the distributed schedule the paper's nodes would run.
 type Procedure struct {
-	Name        string
-	InitRounds  int64 // T0: Initialization, charged once
-	SetupRounds int64 // Setup schedule (and its inverse costs the same)
-	EvalRounds  int64 // Evaluation schedule (and inverse)
-	Domain      uint64
-	Value       func(x uint64) int64
+	Name        string // label for errors and reports
+	InitRounds  int64  // T0: Initialization, charged once
+	SetupRounds int64  // Setup schedule (and its inverse costs the same)
+	EvalRounds  int64  // Evaluation schedule (and inverse)
+	Domain      uint64 // search domain size (x ranges over [0, Domain))
+	// Value is the classical simulation of the Evaluation unitary.
+	Value func(x uint64) int64
 }
 
 // T returns the per-iteration schedule T = Setup + Evaluation.
@@ -58,9 +59,9 @@ func (p Procedure) Validate() error {
 
 // Result reports one framework search.
 type Result struct {
-	Found bool
-	X     uint64
-	Value int64
+	Found bool   // the search returned an element
+	X     uint64 // the returned element
+	Value int64  // f(X)
 
 	Iterations  int64 // Grover iterations executed (each costs 2T rounds)
 	Evaluations int64 // classical verifications (each costs T rounds)

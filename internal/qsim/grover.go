@@ -20,8 +20,8 @@ const (
 
 // SearchResult reports one search run.
 type SearchResult struct {
-	Found    bool
-	Outcome  uint64 // valid when Found
+	Found    bool   // a marked element was located
+	Outcome  uint64 // the located element (valid when Found)
 	Queries  int64  // oracle invocations (Grover iterations + verification)
 	Rounds   int64  // Grover iterations only (each costs Setup+Eval+inverses)
 	Measures int64  // number of measurements (each costs one verification)
@@ -142,9 +142,9 @@ func BBHT(e Engine, domain uint64, marked func(uint64) bool, rng *rand.Rand) Sea
 // MaxResult reports a maximum-finding run.
 type MaxResult struct {
 	Index   uint64 // argmax over the domain
-	Value   int64
-	Queries int64
-	Rounds  int64
+	Value   int64  // f(Index)
+	Queries int64  // total oracle invocations across all BBHT phases
+	Rounds  int64  // total Grover iterations across all BBHT phases
 }
 
 // DurrHoyerMax finds argmax f over [0, domain) by the Dürr-Høyer threshold

@@ -1,8 +1,12 @@
-// Package server implements the Server model of Elkin et al. (§2.3) and
-// the Quantum Simulation Lemma (Lemma 4.1): a three-party protocol —
+// Package server implements the Server *model* of Elkin et al. (§2.3)
+// and the Quantum Simulation Lemma (Lemma 4.1): a three-party protocol —
 // Alice, Bob, and a server whose messages are free — that simulates any
 // T-round CONGEST algorithm on the Figure 1/2/4 gadget networks with only
-// O(T·h·B) charged communication.
+// O(T·h·B) charged communication. "Server" here is the paper's proof
+// device, not a network daemon: the repository's serving layer (the
+// qcongestd HTTP service) lives in internal/svc, and the two are
+// unrelated beyond this package also hosting SketchCache, the
+// process-level skeleton cache the svc daemon serves from.
 //
 // The package provides the exact round-by-round node-ownership schedule
 // from the lemma's proof, a runner that executes a real distributed
@@ -31,6 +35,7 @@ const (
 	BobParty
 )
 
+// String returns the party name.
 func (p Party) String() string {
 	switch p {
 	case AliceParty:
@@ -134,18 +139,19 @@ func (o *Ownership) Owner(r, v int) Party {
 
 // Report is the outcome of a Lemma 4.1 simulation.
 type Report struct {
-	Rounds            int
-	TotalMessages     int64
+	Rounds            int   // rounds the simulated algorithm ran
+	TotalMessages     int64 // all messages the algorithm delivered
 	ChargedMessages   int64 // Alice/Bob -> server-owned targets
-	FreeMessages      int64
-	MaxChargedPerRnd  int64
+	FreeMessages      int64 // everything else (intra-party or server-sent)
+	MaxChargedPerRnd  int64 // busiest round's charged-message count
 	BitsPerMessage    int   // B = Θ(log n)
 	ChargedBits       int64 // ChargedMessages · B
 	LemmaPerRoundCap  int64 // 2h, from the lemma's proof
 	LemmaTotalCap     int64 // 2h · Rounds
-	WithinLemmaBounds bool
+	WithinLemmaBounds bool  // both charged caps held
 }
 
+// String summarizes the accounting on one line.
 func (r Report) String() string {
 	return fmt.Sprintf("simulation(rounds=%d charged=%d free=%d chargedBits=%d cap=%d ok=%v)",
 		r.Rounds, r.ChargedMessages, r.FreeMessages, r.ChargedBits, r.LemmaTotalCap, r.WithinLemmaBounds)
@@ -201,7 +207,7 @@ type ReductionOutcome struct {
 	Threshold int64 // 3α = 3n²: the decision boundary
 	Decided   bool  // the protocol's output for F (or F')
 	Truth     bool  // F(x,y) (or F'(x,y)) computed directly
-	Correct   bool
+	Correct   bool  // Decided == Truth
 }
 
 // DecideDiameter runs the end-to-end Theorem 4.2 reduction on a diameter

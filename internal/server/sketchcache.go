@@ -79,6 +79,20 @@ func sketchKey(g *graph.Graph, s []int, l, k int, eps dist.Eps) string {
 	return string(buf)
 }
 
+// Peek reports whether a completed build for (g, s, l, k, eps) is
+// resident, without blocking, building, or touching the counters and
+// LRU state — a purely observational probe. Callers (internal/svc's
+// admission control) use it to route likely-cold work through a
+// different bounded path before committing to Skeleton, which does the
+// counted lookup and hands out the shared result.
+func (c *SketchCache) Peek(g *graph.Graph, s []int, l, k int, eps dist.Eps) bool {
+	key := sketchKey(g, s, l, k, eps)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return ok && e.done
+}
+
 // Skeleton returns the cached skeleton for (g, s, l, k, eps), building
 // it on a miss. The returned skeleton is shared: callers must not
 // Release it.
@@ -168,8 +182,8 @@ type CacheStats struct {
 	Hits      int64 // answered from a completed entry
 	Misses    int64 // triggered a build
 	Waits     int64 // deduplicated onto another caller's in-flight build
-	Evictions int64
-	Size      int // resident entries (including in-flight)
+	Evictions int64 // completed entries dropped by the LRU policy
+	Size      int   // resident entries (including in-flight)
 }
 
 // Stats returns a snapshot of the cache counters.

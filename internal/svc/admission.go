@@ -1,0 +1,59 @@
+package svc
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errSaturated is returned by gate.enter when the gate's slots are all
+// busy and its waiting queue is full; handlers map it to 503 so load
+// generators back off instead of piling goroutines onto the daemon.
+var errSaturated = errors.New("svc: admission gate saturated")
+
+// gate is a bounded-worker admission semaphore: at most `slots` callers
+// execute concurrently, at most `queue` more wait for a slot, and every
+// caller beyond that is rejected immediately. Two instances partition
+// the daemon's work (svc.go: the build gate for cold work, the query
+// gate for warm reads) so one class cannot starve the other.
+type gate struct {
+	slots   chan struct{}
+	queue   int64
+	waiting atomic.Int64
+}
+
+func newGate(slots, queue int) *gate {
+	g := &gate{slots: make(chan struct{}, slots), queue: int64(queue)}
+	for i := 0; i < slots; i++ {
+		g.slots <- struct{}{}
+	}
+	return g
+}
+
+// enter acquires a slot, waiting in the bounded queue if necessary. It
+// returns errSaturated when the queue is full, or the context error if
+// the caller went away while waiting. Callers must pair a nil return
+// with leave.
+func (g *gate) enter(ctx context.Context) error {
+	select {
+	case <-g.slots:
+		return nil
+	default:
+	}
+	if g.waiting.Add(1) > g.queue {
+		g.waiting.Add(-1)
+		return errSaturated
+	}
+	defer g.waiting.Add(-1)
+	select {
+	case <-g.slots:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *gate) leave() { g.slots <- struct{}{} }
+
+// inUse reports how many slots are currently held (for /metrics).
+func (g *gate) inUse() int { return cap(g.slots) - len(g.slots) }

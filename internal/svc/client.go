@@ -1,0 +1,178 @@
+package svc
+
+// Client is the typed Go client of the qcongestd API, used by
+// cmd/qload, examples/service, and the e2e suite. It is a thin wrapper
+// over net/http: every method is one request, safe for concurrent use.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"qcongest/internal/graph"
+)
+
+// Client talks to one qcongestd daemon.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient when set.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a Client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// StatusError is the typed error for every non-2xx response.
+type StatusError struct {
+	// Code is the HTTP status code.
+	Code int
+	// Message is the server's ErrorResponse.Error body.
+	Message string
+}
+
+// Error formats the status and server message.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("svc: server answered %d: %s", e.Code, e.Message)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do runs one request and decodes the JSON response into out.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("svc: encoding request: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("svc: building request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("svc: %s %s: %w", method, path, err)
+	}
+	// Drain to EOF before closing (Encode's trailing newline is never
+	// read by Decode) so the transport can reuse the connection.
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		var er ErrorResponse
+		msg := "(undecodable error body)"
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return &StatusError{Code: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("svc: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// Upload registers g with the daemon via the edge-list wire format and
+// returns its identity. Uploading an already registered graph succeeds
+// with Created == false.
+func (c *Client) Upload(g *graph.Graph) (UploadResponse, error) {
+	var out UploadResponse
+	err := c.do(http.MethodPost, "/v1/graphs", UploadRequest{EdgeList: string(graph.FormatEdgeList(g))}, &out)
+	return out, err
+}
+
+// Generate asks the daemon to generate and register a workload graph
+// server-side.
+func (c *Client) Generate(spec GenSpec) (UploadResponse, error) {
+	var out UploadResponse
+	err := c.do(http.MethodPost, "/v1/graphs", UploadRequest{Gen: &spec}, &out)
+	return out, err
+}
+
+// Graphs lists every registered graph.
+func (c *Client) Graphs() ([]GraphInfo, error) {
+	var out GraphListResponse
+	err := c.do(http.MethodGet, "/v1/graphs", nil, &out)
+	return out.Graphs, err
+}
+
+// GraphInfo fetches one registered graph's identity.
+func (c *Client) GraphInfo(digest string) (GraphInfo, error) {
+	var out GraphInfo
+	err := c.do(http.MethodGet, "/v1/graphs/"+url.PathEscape(digest), nil, &out)
+	return out, err
+}
+
+// Diameter returns the exact weighted diameter of the registered graph.
+func (c *Client) Diameter(digest string) (int64, error) {
+	var out MetricResponse
+	err := c.do(http.MethodGet, "/v1/graphs/"+url.PathEscape(digest)+"/diameter", nil, &out)
+	return out.Value, err
+}
+
+// Radius returns the exact weighted radius of the registered graph.
+func (c *Client) Radius(digest string) (int64, error) {
+	var out MetricResponse
+	err := c.do(http.MethodGet, "/v1/graphs/"+url.PathEscape(digest)+"/radius", nil, &out)
+	return out.Value, err
+}
+
+// Eccentricity returns the exact weighted eccentricity of vertex v.
+func (c *Client) Eccentricity(digest string, v int) (int64, error) {
+	var out MetricResponse
+	err := c.do(http.MethodGet, fmt.Sprintf("/v1/graphs/%s/eccentricity?v=%d", url.PathEscape(digest), v), nil, &out)
+	return out.Value, err
+}
+
+// Sketch builds (or serves from cache) the Lemma 3.2 skeleton for the
+// request's parameter tuple and evaluates approximate eccentricities.
+func (c *Client) Sketch(digest string, req SketchRequest) (SketchResponse, error) {
+	var out SketchResponse
+	err := c.do(http.MethodPost, "/v1/graphs/"+url.PathEscape(digest)+"/sketch", req, &out)
+	return out, err
+}
+
+// Batch runs the classical exact APSP baseline over the named graphs
+// as one congest.RunBatch on the daemon.
+func (c *Client) Batch(req BatchRequest) (BatchResponse, error) {
+	var out BatchResponse
+	err := c.do(http.MethodPost, "/v1/batch", req, &out)
+	return out, err
+}
+
+// Health fetches /healthz. A draining daemon answers with a
+// *StatusError of code 503 and a decodable body; this method decodes
+// the body for 2xx only.
+func (c *Client) Health() (HealthResponse, error) {
+	var out HealthResponse
+	err := c.do(http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// Metrics fetches the /metrics snapshot.
+func (c *Client) Metrics() (MetricsSnapshot, error) {
+	var out MetricsSnapshot
+	err := c.do(http.MethodGet, "/metrics", nil, &out)
+	return out, err
+}

@@ -1,0 +1,470 @@
+package svc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"qcongest/internal/baseline"
+	"qcongest/internal/congest"
+	"qcongest/internal/dist"
+	"qcongest/internal/graph"
+)
+
+// maxEpsT bounds the client-supplied inverse rounding parameter: with
+// T <= 2^20 and l <= 4n <= 2^22 the denominator 2·T·l stays below 2^43,
+// leaving int64 headroom for every numerator sum.
+const maxEpsT = 1 << 20
+
+// statusRecorder captures the response status for the metrics ledger.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the status before delegating.
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the class's in-flight gauge and
+// latency/status ledger.
+func (s *Server) instrument(class string, h http.HandlerFunc) http.HandlerFunc {
+	c := s.metrics.class(class)
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.inFlight.Add(1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		// Deferred so a panicking handler (net/http recovers it) cannot
+		// wedge the in-flight gauge.
+		defer func() {
+			c.inFlight.Add(-1)
+			c.observe(time.Since(start), rec.status)
+		}()
+		h(rec, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the connection is the only failure mode here
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes a JSON request body into v (unknown
+// fields are errors, bodies are capped at cfg.MaxBodyBytes).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// admit acquires the given gate for the request, answering 503 on
+// saturation (or client abandonment) itself. A true return must be
+// paired with g.leave().
+func admit(w http.ResponseWriter, ctx context.Context, g *gate) bool {
+	if err := g.enter(ctx); err != nil {
+		if errors.Is(err, errSaturated) {
+			writeError(w, http.StatusServiceUnavailable, "server at capacity, retry later")
+		} else {
+			writeError(w, http.StatusServiceUnavailable, "request abandoned while queued: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	resp := HealthResponse{
+		Status:        "ok",
+		Graphs:        s.reg.len(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	code := http.StatusOK
+	if !s.healthy.Load() {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.snapshot())
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	if !admit(w, r.Context(), s.query) {
+		return
+	}
+	defer s.query.leave()
+	writeJSON(w, http.StatusOK, GraphListResponse{Graphs: s.reg.list()})
+}
+
+func (s *Server) handleGraphInfo(w http.ResponseWriter, _ *http.Request, e *entry) {
+	writeJSON(w, http.StatusOK, e.info)
+}
+
+func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
+	var req UploadRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if (req.EdgeList == "") == (req.Gen == nil) {
+		writeError(w, http.StatusBadRequest, "set exactly one of \"edgelist\" and \"gen\"")
+		return
+	}
+	// Parsing and generation are cold work: admit the build gate before
+	// touching them so an upload burst is bounded at BuildSlots instead
+	// of running unadmitted (the size checks below bound one request's
+	// allocation; the gate bounds how many run at once).
+	if !admit(w, r.Context(), s.build) {
+		return
+	}
+	defer s.build.leave()
+	var g *graph.Graph
+	var err error
+	if req.EdgeList != "" {
+		// Limits are enforced during the parse — before the adjacency
+		// allocation — so a few-byte "n 99999999999" header cannot
+		// request terabytes.
+		g, err = graph.ParseEdgeListLimits([]byte(req.EdgeList), s.cfg.MaxNodes, s.cfg.MaxEdges)
+	} else {
+		// Size-check the spec before generating, for the same reason.
+		if err := s.checkGenSize(req.Gen); err != nil {
+			writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+			return
+		}
+		g, err = generate(req.Gen)
+	}
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "exceeds limit") {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	if g.N() > s.cfg.MaxNodes || g.M() > s.cfg.MaxEdges {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"graph n=%d m=%d exceeds limits (n <= %d, m <= %d)", g.N(), g.M(), s.cfg.MaxNodes, s.cfg.MaxEdges)
+		return
+	}
+	e, created, err := s.reg.put(g)
+	if err != nil {
+		writeError(w, http.StatusInsufficientStorage, "%v (capacity %d)", err, s.cfg.MaxGraphs)
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, UploadResponse{GraphInfo: e.info, Created: created})
+}
+
+// checkGenSize predicts a generator spec's output size and rejects
+// anything beyond the configured graph limits before allocation.
+// Negative or unknown-kind parameters fall through — generate reports
+// those with the generator's own message.
+func (s *Server) checkGenSize(spec *GenSpec) error {
+	maxN, maxM := int64(s.cfg.MaxNodes), int64(s.cfg.MaxEdges)
+	// Bound every raw factor first so the size formulas below cannot
+	// overflow (products of two factors each <= 2^30 fit int64 easily).
+	lim := maxN
+	if maxM > lim {
+		lim = maxM
+	}
+	if lim > 1<<30 {
+		lim = 1 << 30
+	}
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"n", spec.N}, {"m", spec.M}, {"rows", spec.Rows}, {"cols", spec.Cols},
+		{"avgDeg", spec.AvgDeg}, {"k", spec.K}, {"bridgeLen", spec.BridgeLen},
+		{"spines", spec.Spines}, {"leaves", spec.Leaves}, {"hosts", spec.Hosts},
+	} {
+		if int64(p.v) > lim {
+			return fmt.Errorf("gen %s=%d exceeds the graph limits (n <= %d, m <= %d)", p.name, p.v, maxN, maxM)
+		}
+	}
+	var n, m int64
+	switch spec.Kind {
+	case "path", "cycle", "star":
+		n, m = int64(spec.N), int64(spec.N)
+	case "complete":
+		n = int64(spec.N)
+		m = n * (n - 1) / 2
+	case "grid":
+		n = int64(spec.Rows) * int64(spec.Cols)
+		m = 2 * n
+	case "random":
+		n, m = int64(spec.N), int64(spec.M)
+	case "lowdiameter":
+		n = int64(spec.N)
+		deg := int64(spec.AvgDeg)
+		if deg < 2 {
+			deg = 2
+		}
+		m = n * deg / 2
+	case "diametercontrolled":
+		n, m = int64(spec.N), 2*int64(spec.N)
+	case "barbell":
+		k := int64(spec.K)
+		n = 2*k + int64(spec.BridgeLen)
+		m = k*(k-1) + int64(spec.BridgeLen)
+	case "spineleaf":
+		leaves, hosts := int64(spec.Leaves), int64(spec.Hosts)
+		n = int64(spec.Spines) + leaves + leaves*hosts
+		m = int64(spec.Spines)*leaves + leaves*hosts
+	default:
+		return nil
+	}
+	if n > maxN || m > maxM {
+		return fmt.Errorf("generated graph would have n=%d m=%d, exceeding limits (n <= %d, m <= %d)", n, m, maxN, maxM)
+	}
+	return nil
+}
+
+// generate runs a GenSpec through the graph generators. The generators
+// report invalid parameters by panicking; that is recovered into a
+// client error rather than taking the daemon down.
+func generate(spec *GenSpec) (g *graph.Graph, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			g, err = nil, fmt.Errorf("%v", p)
+		}
+	}()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	switch spec.Kind {
+	case "path":
+		g = graph.Path(spec.N)
+	case "cycle":
+		g = graph.Cycle(spec.N)
+	case "star":
+		g = graph.Star(spec.N)
+	case "complete":
+		g = graph.Complete(spec.N)
+	case "grid":
+		g = graph.Grid(spec.Rows, spec.Cols)
+	case "random":
+		g = graph.RandomConnected(spec.N, spec.M, rng)
+	case "lowdiameter":
+		g = graph.LowDiameterExpanderish(spec.N, spec.AvgDeg, rng)
+	case "diametercontrolled":
+		g = graph.DiameterControlled(spec.N, spec.D, rng)
+	case "barbell":
+		g = graph.Barbell(spec.K, spec.BridgeLen)
+	case "spineleaf":
+		wCore, wEdge := spec.WCore, spec.WEdge
+		if wCore == 0 {
+			wCore = 1
+		}
+		if wEdge == 0 {
+			wEdge = 1
+		}
+		g = graph.SpineLeaf(spec.Spines, spec.Leaves, spec.Hosts, wCore, wEdge)
+	default:
+		return nil, fmt.Errorf("unknown generator kind %q", spec.Kind)
+	}
+	if spec.MaxW > 1 {
+		g = graph.RandomWeights(g, spec.MaxW, rng)
+	}
+	return g, nil
+}
+
+// handleExactMetric answers diameter/radius/eccentricity from the
+// per-graph exact-metric memo. The first touch of a graph computes all
+// eccentricities under the build gate; every later read is warm and
+// rides the query gate.
+func (s *Server) handleExactMetric(w http.ResponseWriter, r *http.Request, e *entry, metric string) {
+	v := 0
+	if metric == "eccentricity" {
+		raw := r.URL.Query().Get("v")
+		if raw == "" {
+			writeError(w, http.StatusBadRequest, "eccentricity needs a ?v= vertex parameter")
+			return
+		}
+		var err error
+		v, err = strconv.Atoi(raw)
+		if err != nil || v < 0 || v >= e.g.N() {
+			writeError(w, http.StatusBadRequest, "vertex %q out of range [0,%d)", raw, e.g.N())
+			return
+		}
+	}
+	g := s.query
+	if !e.metricsReady() {
+		g = s.build
+	}
+	if !admit(w, r.Context(), g) {
+		return
+	}
+	defer g.leave()
+	diam, rad, eccs := e.metrics()
+	resp := MetricResponse{Digest: e.info.Digest, Metric: metric}
+	switch metric {
+	case "diameter":
+		resp.Value = diam
+	case "radius":
+		resp.Value = rad
+	default:
+		resp.V = v
+		resp.Value = eccs[v]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request, e *entry) {
+	var req SketchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	n := e.g.N()
+	if len(req.Sources) == 0 {
+		writeError(w, http.StatusBadRequest, "sources must be non-empty")
+		return
+	}
+	for _, u := range req.Sources {
+		if u < 0 || u >= n {
+			writeError(w, http.StatusBadRequest, "source %d out of range [0,%d)", u, n)
+			return
+		}
+	}
+	if req.L < 1 || req.K < 1 {
+		writeError(w, http.StatusBadRequest, "need l >= 1 and k >= 1, got l=%d k=%d", req.L, req.K)
+		return
+	}
+	// No simple path exceeds n-1 hops, so larger budgets only burn CPU
+	// in a build slot (mirrors core.ParamsFor's 4n clamp, as a hard
+	// error at the API boundary).
+	if req.L > 4*n {
+		writeError(w, http.StatusBadRequest, "hop budget l=%d exceeds 4*n = %d", req.L, 4*n)
+		return
+	}
+	// maxEpsT keeps the denominator 2*T*l and the per-scale cap
+	// (1+2T)*l far from int64 overflow (Eq. (1) uses T = ceil(log2 n)).
+	if req.EpsT < 0 || req.EpsT > maxEpsT {
+		writeError(w, http.StatusBadRequest, "epsT must be in [0, %d], got %d", int64(maxEpsT), req.EpsT)
+		return
+	}
+	eps := dist.Eps{T: req.EpsT}
+	if eps.T == 0 {
+		eps = dist.EpsForN(n)
+	}
+	vertices := req.Vertices
+	if len(vertices) == 0 {
+		vertices = req.Sources
+	}
+	for _, v := range vertices {
+		if v < 0 || v >= n {
+			writeError(w, http.StatusBadRequest, "vertex %d out of range [0,%d)", v, n)
+			return
+		}
+	}
+
+	// Route by cache temperature: a completed entry serves on the query
+	// gate, while likely-cold requests (misses and joins of an in-flight
+	// build) pay the build gate, so a burst of cold builds saturates at
+	// BuildSlots instead of displacing warm traffic. The probe is
+	// advisory — an entry completing (or evicting) between Peek and
+	// Skeleton just means this request holds the other gate's slot,
+	// which is harmless. leave() is deferred: a panic out of a failed
+	// deduplicated build must not leak the slot.
+	gate := s.query
+	if !s.cache.Peek(e.g, req.Sources, req.L, req.K, eps) {
+		gate = s.build
+	}
+	if !admit(w, r.Context(), gate) {
+		return
+	}
+	defer gate.leave()
+	sk := s.cache.Skeleton(e.g, req.Sources, req.L, req.K, eps)
+	resp := SketchResponse{
+		Digest:         e.info.Digest,
+		EpsT:           eps.T,
+		Den:            sk.DenOut,
+		Eccentricities: make([]SketchEcc, len(vertices)),
+	}
+	for i, v := range vertices {
+		resp.Eccentricities[i] = SketchEcc{V: v, Num: sk.ApproxEccentricity(v)}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Digests) == 0 {
+		writeError(w, http.StatusBadRequest, "digests must be non-empty")
+		return
+	}
+	if len(req.Digests) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Digests), s.cfg.MaxBatch)
+		return
+	}
+	gs := make([]*graph.Graph, len(req.Digests))
+	for i, dh := range req.Digests {
+		e, ok := s.lookup(w, dh)
+		if !ok {
+			return
+		}
+		// The APSP protocol holds an n-length distance vector per node,
+		// so one oversized job costs Θ(n²) memory.
+		if n := e.g.N(); n > s.cfg.MaxBatchNodes {
+			writeError(w, http.StatusBadRequest,
+				"graph %s has n=%d, above the batch limit %d", dh, n, s.cfg.MaxBatchNodes)
+			return
+		}
+		gs[i] = e.g
+	}
+	if !admit(w, r.Context(), s.build) {
+		return
+	}
+	defer s.build.leave()
+	diams, radii, stats, err := baseline.ClassicalDiameterBatch(gs, congest.Options{Workers: req.Workers}, req.Parallelism)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "batch APSP failed: %v", err)
+		return
+	}
+	resp := BatchResponse{Results: make([]BatchEntry, len(gs))}
+	for i := range gs {
+		resp.Results[i] = BatchEntry{
+			Digest:   req.Digests[i],
+			Diameter: diams[i],
+			Radius:   radii[i],
+			Rounds:   stats[i].Rounds,
+			Messages: stats[i].Messages,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,132 @@
+package svc
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Request classes for metrics and admission. Every routed endpoint
+// belongs to exactly one class; /healthz and /metrics are unmetered.
+const (
+	classUpload = "upload" // POST /v1/graphs
+	classQuery  = "query"  // graph listings, info, exact metrics
+	classSketch = "sketch" // POST /v1/graphs/{digest}/sketch
+	classBatch  = "batch"  // POST /v1/batch
+)
+
+var allClasses = []string{classUpload, classQuery, classSketch, classBatch}
+
+// latencyBuckets is the histogram resolution: bucket i counts requests
+// with latency in [2^i, 2^(i+1)) microseconds, so the range spans 1 µs
+// to ~17 minutes. Percentiles are reported as the upper bound of the
+// bucket containing the quantile — a ≤2× overestimate, stable and
+// allocation-free under concurrent load.
+const latencyBuckets = 30
+
+// classMetrics is the lock-free ledger of one request class.
+type classMetrics struct {
+	count    atomic.Int64
+	err4xx   atomic.Int64
+	err5xx   atomic.Int64
+	inFlight atomic.Int64
+	hist     [latencyBuckets]atomic.Int64
+}
+
+func (c *classMetrics) observe(d time.Duration, status int) {
+	c.count.Add(1)
+	switch {
+	case status >= 500:
+		c.err5xx.Add(1)
+	case status >= 400:
+		c.err4xx.Add(1)
+	}
+	us := d.Microseconds()
+	b := 0
+	if us > 0 {
+		b = bits.Len64(uint64(us)) - 1
+	}
+	if b >= latencyBuckets {
+		b = latencyBuckets - 1
+	}
+	c.hist[b].Add(1)
+}
+
+// quantileMs returns the q-quantile (0 < q <= 1) of the recorded
+// latencies in milliseconds, as the upper bound of the histogram bucket
+// the quantile falls in (0 when nothing was recorded).
+func (c *classMetrics) quantileMs(q float64) float64 {
+	var counts [latencyBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = c.hist[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, n := range counts {
+		seen += n
+		if seen >= target {
+			upperUs := uint64(1) << uint(i+1)
+			return float64(upperUs) / 1000
+		}
+	}
+	return float64(uint64(1)<<latencyBuckets) / 1000
+}
+
+// metrics aggregates per-class ledgers.
+type metrics struct {
+	byClass map[string]*classMetrics
+}
+
+func newMetrics() *metrics {
+	m := &metrics{byClass: make(map[string]*classMetrics, len(allClasses))}
+	for _, c := range allClasses {
+		m.byClass[c] = &classMetrics{}
+	}
+	return m
+}
+
+func (m *metrics) class(name string) *classMetrics { return m.byClass[name] }
+
+// snapshot assembles the /metrics payload.
+func (s *Server) snapshot() MetricsSnapshot {
+	cs := s.cache.Stats()
+	snap := MetricsSnapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Graphs:        s.reg.len(),
+		Cache: CacheMetrics{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Waits:     cs.Waits,
+			Evictions: cs.Evictions,
+			Size:      cs.Size,
+		},
+		BuildSlotsInUse: s.build.inUse(),
+		QuerySlotsInUse: s.query.inUse(),
+		Requests:        make(map[string]RequestMetrics, len(allClasses)),
+	}
+	if lookups := cs.Hits + cs.Misses + cs.Waits; lookups > 0 {
+		// Waits join another caller's build, so they count as served-
+		// from-flight rather than as builds.
+		snap.Cache.HitRate = float64(cs.Hits+cs.Waits) / float64(lookups)
+	}
+	for _, name := range allClasses {
+		c := s.metrics.class(name)
+		snap.Requests[name] = RequestMetrics{
+			Count:    c.count.Load(),
+			Errors4x: c.err4xx.Load(),
+			Errors5x: c.err5xx.Load(),
+			InFlight: c.inFlight.Load(),
+			P50Ms:    c.quantileMs(0.50),
+			P99Ms:    c.quantileMs(0.99),
+		}
+	}
+	return snap
+}

@@ -1,0 +1,131 @@
+package svc
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"qcongest/internal/graph"
+)
+
+// FormatDigest renders a graph digest as the canonical 16-hex-digit
+// string used in URLs and JSON ("%016x").
+func FormatDigest(d uint64) string { return fmt.Sprintf("%016x", d) }
+
+// ParseDigest parses the canonical digest form (any 1-16 digit hex
+// string is accepted).
+func ParseDigest(s string) (uint64, error) {
+	if len(s) == 0 || len(s) > 16 {
+		return 0, fmt.Errorf("want 16 hex digits")
+	}
+	return strconv.ParseUint(s, 16, 64)
+}
+
+// entry is one registered graph plus its lazily computed exact metrics.
+// The graph is immutable after registration — the digest names it
+// forever — so the metric memo never needs invalidation.
+type entry struct {
+	g    *graph.Graph
+	info GraphInfo
+
+	once  sync.Once
+	ready atomic.Bool // set after once ran; steers admission class
+	eccs  []int64
+	diam  int64
+	rad   int64
+}
+
+// metrics returns the exact weighted eccentricities, diameter, and
+// radius, computing all three on first touch (one Eccentricities sweep
+// covers every later exact-metric read of this graph).
+func (e *entry) metrics() (diam, radius int64, eccs []int64) {
+	e.once.Do(func() {
+		e.eccs = e.g.Eccentricities()
+		e.diam = graph.Inf
+		e.rad = graph.Inf
+		var d int64
+		for _, ecc := range e.eccs {
+			if ecc > d {
+				d = ecc
+			}
+			if ecc < e.rad {
+				e.rad = ecc
+			}
+		}
+		e.diam = d
+		e.ready.Store(true)
+	})
+	return e.diam, e.rad, e.eccs
+}
+
+// metricsReady reports whether the exact metrics are already memoized
+// (a warm read). Used only to pick the admission gate, so the inherent
+// race with a concurrent first compute is harmless.
+func (e *entry) metricsReady() bool { return e.ready.Load() }
+
+// registry is the digest-addressed store of immutable graphs.
+type registry struct {
+	max int
+
+	mu       sync.RWMutex
+	byDigest map[uint64]*entry
+	order    []uint64 // insertion order, for stable listings
+}
+
+func newRegistry(max int) *registry {
+	return &registry{max: max, byDigest: make(map[uint64]*entry)}
+}
+
+// put registers g (which must not be mutated afterwards). Registration
+// is idempotent: re-uploading an identical graph returns the existing
+// entry with created == false. errRegistryFull is returned at capacity.
+func (r *registry) put(g *graph.Graph) (e *entry, created bool, err error) {
+	digest := g.Digest()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byDigest[digest]; ok {
+		return e, false, nil
+	}
+	if len(r.byDigest) >= r.max {
+		return nil, false, errRegistryFull
+	}
+	e = &entry{
+		g: g,
+		info: GraphInfo{
+			Digest:    FormatDigest(digest),
+			N:         g.N(),
+			M:         g.M(),
+			MaxWeight: g.MaxWeight(),
+		},
+	}
+	r.byDigest[digest] = e
+	r.order = append(r.order, digest)
+	return e, true, nil
+}
+
+func (r *registry) get(digest uint64) (*entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.byDigest[digest]
+	return e, ok
+}
+
+// list returns every registered graph's info in registration order.
+func (r *registry) list() []GraphInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]GraphInfo, 0, len(r.order))
+	for _, d := range r.order {
+		out = append(out, r.byDigest[d].info)
+	}
+	return out
+}
+
+func (r *registry) len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byDigest)
+}
+
+var errRegistryFull = fmt.Errorf("svc: graph registry is full")

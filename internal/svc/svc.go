@@ -1,0 +1,235 @@
+// Package svc is the serving layer: a long-running HTTP/JSON daemon
+// (cmd/qcongestd) that owns a registry of immutable graphs addressed by
+// graph.Digest() and answers diameter/radius/eccentricity, Lemma 3.2
+// sketch, and batch APSP queries over the network, so consumers no
+// longer need to link the library for every lookup.
+//
+// This package is infrastructure, not paper machinery: the paper's
+// three-party Server model of Lemma 4.1 lives in internal/server (and
+// internal/server also hosts the SketchCache this daemon serves from).
+// The data flow is
+//
+//	registry (digest → immutable *graph.Graph)
+//	  → server.SketchCache (bounded LRU + single-flight, keyed by
+//	    digest + the full Lemma 3.2 parameter tuple)
+//	    → graph.DistWorkspace frontier kernel (the §3 distance builds)
+//
+// Because graphs are registered once and never mutated, a digest is a
+// permanent name for a topology, which is what makes both cache layers
+// (the sketch LRU and the per-graph exact-metric memo) safe without
+// invalidation. Every numeric answer is computed by the same library
+// code a direct caller would run, so responses are byte-identical to
+// in-process results for any worker count (the determinism contract of
+// API.md).
+//
+// Admission control is a pair of bounded gates: cold work (sketch
+// builds, batch sweeps, first-touch exact metrics, upload parsing and
+// generation) competes for a small build gate, while warm reads go
+// through a wide query gate — a burst of cold builds saturates the
+// build gate and returns 503, it cannot starve warm traffic. See
+// DESIGN.md §8 for the architecture chapter.
+package svc
+
+import (
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"qcongest/internal/server"
+)
+
+// Config tunes the daemon. The zero value is runnable: every field has
+// a default applied by New.
+type Config struct {
+	// CacheCapacity bounds the sketch LRU (default 64 skeletons).
+	CacheCapacity int
+	// SketchWorkers is the per-build worker fan-out handed to
+	// dist.BuildSkeletonWith (0 uses dist.DefaultSkeletonWorkers).
+	// Numerators are byte-identical for every value.
+	SketchWorkers int
+	// BuildSlots bounds concurrently executing cold work: sketch
+	// builds, batch sweeps, first-touch exact-metric computations, and
+	// upload parsing/generation (default 2).
+	BuildSlots int
+	// BuildQueue bounds callers waiting for a build slot; beyond it the
+	// daemon answers 503 immediately (default 4×BuildSlots).
+	BuildQueue int
+	// QuerySlots bounds concurrently executing warm reads (default 256).
+	QuerySlots int
+	// QueryQueue bounds callers waiting for a query slot (default
+	// 4×QuerySlots).
+	QueryQueue int
+	// MaxGraphs bounds the registry; registering beyond it answers 507
+	// (default 128).
+	MaxGraphs int
+	// MaxNodes and MaxEdges bound one registered graph (defaults 1<<17
+	// nodes, 1<<21 edges).
+	MaxNodes, MaxEdges int
+	// MaxBatch bounds the number of jobs in one /v1/batch call
+	// (default 64).
+	MaxBatch int
+	// MaxBatchNodes bounds one batch job's graph size (default 4096):
+	// the APSP protocol keeps an n-length distance vector per node, so
+	// a job costs Θ(n²) memory while it runs.
+	MaxBatchNodes int
+	// MaxBodyBytes bounds one request body (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 64
+	}
+	if c.BuildSlots <= 0 {
+		c.BuildSlots = 2
+	}
+	if c.BuildQueue <= 0 {
+		c.BuildQueue = 4 * c.BuildSlots
+	}
+	if c.QuerySlots <= 0 {
+		c.QuerySlots = 256
+	}
+	if c.QueryQueue <= 0 {
+		c.QueryQueue = 4 * c.QuerySlots
+	}
+	if c.MaxGraphs <= 0 {
+		c.MaxGraphs = 128
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 1 << 17
+	}
+	if c.MaxEdges <= 0 {
+		c.MaxEdges = 1 << 21
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxBatchNodes <= 0 {
+		c.MaxBatchNodes = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the service state behind one daemon: the graph registry,
+// the sketch cache, the admission gates, and the metrics ledger. It
+// implements http.Handler; mount it directly on an http.Server (see
+// cmd/qcongestd) or an httptest.Server (see the e2e suite).
+type Server struct {
+	cfg     Config
+	reg     *registry
+	cache   *server.SketchCache
+	metrics *metrics
+	build   *gate
+	query   *gate
+	start   time.Time
+	healthy atomic.Bool
+}
+
+// New returns a ready-to-serve Server with cfg's defaults applied.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     newRegistry(cfg.MaxGraphs),
+		cache:   server.NewSketchCache(cfg.CacheCapacity, cfg.SketchWorkers),
+		metrics: newMetrics(),
+		build:   newGate(cfg.BuildSlots, cfg.BuildQueue),
+		query:   newGate(cfg.QuerySlots, cfg.QueryQueue),
+		start:   time.Now(),
+	}
+	s.healthy.Store(true)
+	return s
+}
+
+// Cache exposes the sketch cache (the e2e suite asserts its Stats
+// counters through this).
+func (s *Server) Cache() *server.SketchCache { return s.cache }
+
+// SetHealthy flips the /healthz answer; cmd/qcongestd marks the daemon
+// unhealthy at the start of graceful shutdown so load balancers drain
+// it before the listener closes.
+func (s *Server) SetHealthy(ok bool) { s.healthy.Store(ok) }
+
+// ServeHTTP routes the API surface documented in API.md.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == "/healthz":
+		s.handleHealthz(w, r)
+	case path == "/metrics":
+		s.handleMetrics(w, r)
+	case path == "/v1/graphs":
+		switch r.Method {
+		case http.MethodGet:
+			s.instrument(classQuery, s.handleListGraphs)(w, r)
+		case http.MethodPost:
+			s.instrument(classUpload, s.handleCreateGraph)(w, r)
+		default:
+			writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		}
+	case strings.HasPrefix(path, "/v1/graphs/"):
+		s.routeGraph(w, r, strings.TrimPrefix(path, "/v1/graphs/"))
+	case path == "/v1/batch":
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		s.instrument(classBatch, s.handleBatch)(w, r)
+	default:
+		writeError(w, http.StatusNotFound, "no such route (see API.md)")
+	}
+}
+
+// routeGraph dispatches /v1/graphs/{digest}[/{op}]. Digest resolution
+// happens inside the instrumented handler so bad-digest traffic shows
+// up in the class's 4xx ledger.
+func (s *Server) routeGraph(w http.ResponseWriter, r *http.Request, rest string) {
+	digestHex, op, _ := strings.Cut(rest, "/")
+	class, method := classQuery, http.MethodGet
+	switch op {
+	case "", "diameter", "radius", "eccentricity":
+	case "sketch":
+		class, method = classSketch, http.MethodPost
+	default:
+		writeError(w, http.StatusNotFound, "unknown graph operation %q", op)
+		return
+	}
+	if r.Method != method {
+		writeError(w, http.StatusMethodNotAllowed, "use %s", method)
+		return
+	}
+	s.instrument(class, func(w http.ResponseWriter, r *http.Request) {
+		e, ok := s.lookup(w, digestHex)
+		if !ok {
+			return
+		}
+		switch op {
+		case "":
+			s.handleGraphInfo(w, r, e)
+		case "sketch":
+			s.handleSketch(w, r, e)
+		default:
+			s.handleExactMetric(w, r, e, op)
+		}
+	})(w, r)
+}
+
+// lookup resolves a digest path segment, writing the error response on
+// failure.
+func (s *Server) lookup(w http.ResponseWriter, digestHex string) (*entry, bool) {
+	digest, err := ParseDigest(digestHex)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad digest %q: %v", digestHex, err)
+		return nil, false
+	}
+	e, ok := s.reg.get(digest)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no graph with digest %s (upload it via POST /v1/graphs)", digestHex)
+		return nil, false
+	}
+	return e, true
+}

@@ -27,6 +27,7 @@ import (
 	"qcongest/internal/gadget"
 	"qcongest/internal/graph"
 	"qcongest/internal/server"
+	"qcongest/internal/svc"
 )
 
 // Graph is an undirected weighted network (w : E -> N+).
@@ -125,6 +126,45 @@ var (
 
 // SketchOpts configure a skeleton build (worker fan-out).
 type SketchOpts = dist.BuildSkeletonOpts
+
+// Serving layer (internal/svc): the qcongestd daemon's handler and the
+// typed client of its HTTP/JSON API. See API.md for the endpoint
+// reference and DESIGN.md §8 for the architecture. Note the naming
+// split: this is deployment infrastructure, distinct from the paper's
+// three-party Server model of Lemma 4.1 (SimulationReport above).
+type (
+	// Service is the daemon's state and http.Handler (mount on an
+	// http.Server, or on httptest for in-process use).
+	Service = svc.Server
+	// ServiceConfig tunes cache capacity, admission gates, and limits.
+	ServiceConfig = svc.Config
+	// ServiceClient is the typed client of the qcongestd API.
+	ServiceClient = svc.Client
+	// GraphInfo identifies one registered graph (digest, n, m, W).
+	GraphInfo = svc.GraphInfo
+	// GenSpec asks the daemon to generate a workload graph server-side.
+	GenSpec = svc.GenSpec
+	// SketchRequest is the Lemma 3.2 parameter tuple of one sketch query.
+	SketchRequest = svc.SketchRequest
+	// SketchResponse carries the ẽ numerators over their common denominator.
+	SketchResponse = svc.SketchResponse
+	// BatchRequest runs the classical APSP baseline over registered graphs.
+	BatchRequest = svc.BatchRequest
+	// BatchResponse is the per-graph batch outcome.
+	BatchResponse = svc.BatchResponse
+	// ServiceMetrics is the /metrics snapshot (cache hit rate, latency
+	// quantiles, admission occupancy).
+	ServiceMetrics = svc.MetricsSnapshot
+)
+
+// Serving-layer constructors and the edge-list wire codec (the upload
+// format of POST /v1/graphs).
+var (
+	NewService       = svc.New
+	NewServiceClient = svc.NewClient
+	FormatEdgeList   = graph.FormatEdgeList
+	ParseEdgeList    = graph.ParseEdgeList
+)
 
 // SimOptions configure a CONGEST simulation run.
 type SimOptions = congest.Options
