@@ -6,10 +6,18 @@
 // Usage:
 //
 //	qcongestd -addr 127.0.0.1:8080 -cache 64 -buildslots 2 -distworkers 0
+//	qcongestd -addr 127.0.0.1:8080 -data-dir /var/lib/qcongest -warm 8
+//
+// With -data-dir the registry is durable (DESIGN.md §9): every
+// acknowledged upload is fsynced into a crash-safe log before the 2xx,
+// a reboot replays the store with digest verification, and -warm K
+// pre-warms the exact-metric memos and sketch cache for the K most
+// recently queried graphs. A SIGKILLed daemon loses nothing committed;
+// a graceful shutdown additionally folds the log into a snapshot.
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: /healthz flips to
-// 503 "draining", in-flight requests finish (up to -draintimeout), and
-// the process exits 0.
+// 503 "draining", in-flight requests finish (up to -draintimeout), the
+// store is snapshotted and closed, and the process exits 0.
 package main
 
 import (
@@ -40,10 +48,13 @@ func main() {
 		maxBatch     = flag.Int("maxbatch", 64, "max jobs per /v1/batch call")
 		maxBatchN    = flag.Int("maxbatchnodes", 0, "max graph size per batch APSP job (0 = 4096)")
 		drainTimeout = flag.Duration("draintimeout", 15*time.Second, "graceful shutdown deadline")
+		dataDir      = flag.String("data-dir", "", "durable store directory (empty = in-memory registry)")
+		warm         = flag.Int("warm", 8, "graphs to pre-warm after a persistent boot (0 disables)")
+		snapEvery    = flag.Int("snapevery", 0, "graph appends between store snapshots (0 = 64, negative disables)")
 	)
 	flag.Parse()
 
-	s := svc.New(svc.Config{
+	s, err := svc.Open(svc.Config{
 		CacheCapacity: *cache,
 		SketchWorkers: *distWorkers,
 		BuildSlots:    *buildSlots,
@@ -53,7 +64,13 @@ func main() {
 		MaxNodes:      *maxNodes,
 		MaxBatch:      *maxBatch,
 		MaxBatchNodes: *maxBatchN,
+		DataDir:       *dataDir,
+		WarmStart:     *warm,
+		SnapshotEvery: *snapEvery,
 	})
+	if err != nil {
+		log.Fatalf("qcongestd: opening store: %v", err)
+	}
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           s,
@@ -65,6 +82,11 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpServer.ListenAndServe() }()
+	if *dataDir != "" {
+		rec := s.Recovery()
+		log.Printf("qcongestd: durable store %s — recovered %d graphs (%d snapshot + %d log, %d quarantined) in %s",
+			*dataDir, rec.SnapshotGraphs+rec.LogGraphs, rec.SnapshotGraphs, rec.LogGraphs, rec.Quarantined, rec.Replay)
+	}
 	log.Printf("qcongestd: serving on http://%s (cache=%d buildslots=%d)", *addr, *cache, *buildSlots)
 
 	select {
@@ -82,6 +104,10 @@ func main() {
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("qcongestd: serve: %v", err)
+	}
+	// Fold the log into a final snapshot after the last request drains.
+	if err := s.Close(); err != nil {
+		log.Fatalf("qcongestd: closing store: %v", err)
 	}
 	fmt.Println("qcongestd: shut down cleanly")
 }

@@ -15,6 +15,12 @@
 //
 // qload exits non-zero if any request draws a 5xx or if no request
 // succeeds, which is what the CI smoke step asserts.
+//
+// With -expectrestart the warm mix becomes restart-aware: qload asserts
+// its workload graph was recovered by the daemon from a durable data
+// dir (the registration answers Created == false) instead of being
+// created fresh — the client half of the crash-recovery smoke: boot
+// with -data-dir, load, SIGKILL, reboot, re-run qload -expectrestart.
 package main
 
 import (
@@ -57,6 +63,7 @@ func main() {
 		n        = flag.Int("n", 256, "workload graph size")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		out      = flag.String("out", "", "write the JSON report to this file")
+		expectRe = flag.Bool("expectrestart", false, "assert the workload graph was recovered from a durable data dir, not created fresh")
 	)
 	flag.Parse()
 	if *mix != "warm" && *mix != "cold" && *mix != "mixed" {
@@ -66,9 +73,14 @@ func main() {
 	client := svc.NewClient(*addr)
 	waitHealthy(client)
 
+	// Registration is idempotent on the digest, so re-running against a
+	// daemon that recovered the graph from disk answers Created=false.
 	up, err := client.Generate(svc.GenSpec{Kind: "lowdiameter", N: *n, AvgDeg: 4, MaxW: 16, Seed: *seed})
 	if err != nil {
 		log.Fatalf("qload: registering workload graph: %v", err)
+	}
+	if *expectRe && up.Created {
+		log.Fatalf("qload: FAILED — expected the daemon to have recovered graph %s from its data dir, but it was created fresh", up.Digest)
 	}
 	digest := up.Digest
 	warmSketch := svc.SketchRequest{Sources: []int{0, 1, 2, 3}, L: 8, K: 4}

@@ -1,5 +1,14 @@
 package graph
 
+import "fmt"
+
+// DigestString renders a digest in the canonical 16-hex-digit form
+// ("%016x") used in URLs, JSON responses, and the durable store's
+// persisted documents. Both internal/svc and internal/store format
+// digests through this one function; their parsers differ (the HTTP
+// layer is lenient, the store is strict) but the rendered form is one.
+func DigestString(d uint64) string { return fmt.Sprintf("%016x", d) }
+
 // Digest returns a 64-bit FNV-1a digest of the graph's structure: the
 // node count followed by every edge (U, V, W) in insertion order. Two
 // graphs with the same digest are, modulo hash collisions, the same

@@ -8,12 +8,19 @@ package graph
 // Format, one record per line:
 //
 //	# anything after '#' is a comment
+//	v <version>
 //	n <nodes>
 //	<u> <v> <w>
 //
-// The "n" header must come first (blank and comment lines may precede
-// it); every following non-empty line is one undirected edge. Fields are
-// separated by any run of spaces or tabs.
+// The "v" version header is optional (its absence means version 1, the
+// only version defined so far) and, when present, must precede the "n"
+// header. The "n" header must come before any edge (blank and comment
+// lines may appear anywhere); every following non-empty line is one
+// undirected edge. Fields are separated by any run of spaces or tabs.
+//
+// The durable store (internal/store) always writes the explicit version
+// header so a future format bump is detected by the parser instead of
+// being misread as edges.
 
 import (
 	"fmt"
@@ -21,12 +28,33 @@ import (
 	"strings"
 )
 
+// EdgeListVersion is the current edge-list wire-format version, written
+// by FormatEdgeListVersioned and the only version ParseEdgeList accepts.
+const EdgeListVersion = 1
+
 // FormatEdgeList renders g in the edge-list wire format. The output
 // parses back (ParseEdgeList) to a graph with the same node count, the
 // same edges in the same insertion order, and therefore the same Digest.
 func FormatEdgeList(g *Graph) []byte {
+	return formatEdgeList(g, false)
+}
+
+// FormatEdgeListVersioned is FormatEdgeList with an explicit
+// "v <EdgeListVersion>" header line, the form persisted by the durable
+// store so format evolution is detectable on replay. The parse result
+// (and therefore the digest) is identical to the unversioned form.
+func FormatEdgeListVersioned(g *Graph) []byte {
+	return formatEdgeList(g, true)
+}
+
+func formatEdgeList(g *Graph, versioned bool) []byte {
 	var b strings.Builder
-	b.Grow(16 + 24*len(g.edges))
+	b.Grow(20 + 24*len(g.edges))
+	if versioned {
+		b.WriteString("v ")
+		b.WriteString(strconv.Itoa(EdgeListVersion))
+		b.WriteByte('\n')
+	}
 	b.WriteString("n ")
 	b.WriteString(strconv.Itoa(g.n))
 	b.WriteByte('\n')
@@ -56,12 +84,27 @@ func ParseEdgeList(data []byte) (*Graph, error) {
 // Limits <= 0 are unbounded.
 func ParseEdgeListLimits(data []byte, maxNodes, maxEdges int) (*Graph, error) {
 	var g *Graph
+	sawVersion := false
 	for lineNo, line := range strings.Split(string(data), "\n") {
 		if i := strings.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]
 		}
 		fields := strings.Fields(line)
 		if len(fields) == 0 {
+			continue
+		}
+		if g == nil && !sawVersion && fields[0] == "v" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: expected version header \"v <version>\", got %q", lineNo+1, line)
+			}
+			ver, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad version %q", lineNo+1, fields[1])
+			}
+			if ver != EdgeListVersion {
+				return nil, fmt.Errorf("graph: line %d: unsupported edge-list version %d (this build reads version %d)", lineNo+1, ver, EdgeListVersion)
+			}
+			sawVersion = true
 			continue
 		}
 		if g == nil {

@@ -18,15 +18,41 @@ func TestEdgeListRoundTrip(t *testing.T) {
 		RandomWeights(LowDiameterExpanderish(64, 4, rng), 100, rng),
 		SpineLeaf(3, 4, 5, 2, 7),
 	} {
-		got, err := ParseEdgeList(FormatEdgeList(g))
-		if err != nil {
-			t.Fatalf("round trip of %v failed: %v", g, err)
+		for name, wire := range map[string][]byte{
+			"plain":     FormatEdgeList(g),
+			"versioned": FormatEdgeListVersioned(g),
+		} {
+			got, err := ParseEdgeList(wire)
+			if err != nil {
+				t.Fatalf("%s round trip of %v failed: %v", name, g, err)
+			}
+			if got.N() != g.N() || got.M() != g.M() {
+				t.Fatalf("%s round trip of %v changed shape: got %v", name, g, got)
+			}
+			if got.Digest() != g.Digest() {
+				t.Fatalf("%s round trip of %v changed digest: %x != %x", name, g, got.Digest(), g.Digest())
+			}
 		}
-		if got.N() != g.N() || got.M() != g.M() {
-			t.Fatalf("round trip of %v changed shape: got %v", g, got)
-		}
-		if got.Digest() != g.Digest() {
-			t.Fatalf("round trip of %v changed digest: %x != %x", g, got.Digest(), g.Digest())
+	}
+}
+
+// TestEdgeListVersionHeader checks the optional "v" header: version 1
+// parses identically with and without it, and any other version is a
+// clean unsupported-version error (never misread as edges).
+func TestEdgeListVersionHeader(t *testing.T) {
+	if g, err := ParseEdgeList([]byte("# c\n\nv 1\nn 3\n0 1 2\n")); err != nil || g.M() != 1 {
+		t.Fatalf("versioned parse: (%v, %v)", g, err)
+	}
+	for _, tc := range []struct{ name, in, want string }{
+		{"future version", "v 2\nn 3\n0 1 2\n", "unsupported edge-list version 2"},
+		{"bad version", "v one\nn 3\n", "bad version"},
+		{"short version", "v\nn 3\n", "header"},
+		{"version after header", "n 3\nv 1\n", "line 2"},
+		{"duplicate version", "v 1\nv 1\nn 3\n", "header"},
+	} {
+		_, err := ParseEdgeList([]byte(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %v does not mention %q", tc.name, err, tc.want)
 		}
 	}
 }

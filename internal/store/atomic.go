@@ -1,0 +1,81 @@
+package store
+
+// Crash-safe file primitives. Every durable artifact of the store is
+// published with the same discipline: write to a temp file in the same
+// directory, fsync the file, rename it over the final name, fsync the
+// directory. A crash at any byte boundary therefore leaves either the
+// old complete file or the new complete file — never a torn one. The
+// only artifact not written this way is the append-only log, whose
+// record framing (wal.go) makes torn tails detectable instead.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// writeFileAtomic publishes data at path via temp + fsync + rename +
+// directory fsync.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	// Any failure below must not leave the temp file behind.
+	fail := func(step string, err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %s for %s: %w", step, path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail("writing temp", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("syncing temp", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail("closing temp", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: publishing %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-created/renamed/removed entry is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: opening dir %s for sync: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// lockDir takes an exclusive advisory flock on dir/LOCK, the
+// double-boot guard: a second store opening the same data dir fails
+// immediately with a clean error, and a SIGKILLed owner's lock is
+// released by the kernel, so no stale-lock recovery is ever needed.
+func lockDir(dir string) (*os.File, error) {
+	path := filepath.Join(dir, lockFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: data dir %s is not writable: %w", dir, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK {
+			return nil, fmt.Errorf("store: data dir %s is locked by another process (double boot?)", dir)
+		}
+		return nil, fmt.Errorf("store: locking %s: %w", path, err)
+	}
+	return f, nil
+}

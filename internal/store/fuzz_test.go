@@ -1,0 +1,125 @@
+package store
+
+// Fuzzers of ISSUE 5: FuzzStoreRoundTrip drives arbitrary parseable
+// graphs through persist → reload and pins digest equality;
+// FuzzManifestParse feeds arbitrary bytes to the manifest parser and
+// asserts it never panics and enforces its size limits before
+// allocation (the ParseEdgeListLimits hardening discipline of PR 4).
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"qcongest/internal/graph"
+)
+
+// FuzzStoreRoundTrip: any graph the wire codec accepts must survive
+// persist → crash → reload with a byte-identical digest and wire form,
+// both via pure log replay and via a snapshot.
+func FuzzStoreRoundTrip(f *testing.F) {
+	f.Add([]byte("n 4\n0 1 2\n2 3 9\n"), false)
+	f.Add([]byte("v 1\nn 3\n0 1 1\n1 2 1\n0 2 7\n"), true)
+	f.Add([]byte("n 1\n"), false)
+	f.Add([]byte("n 0\n"), true)
+	f.Add([]byte("# c\nn 6\n0 5 3\n5 1 1\n1 4 1\n4 2 1\n2 3 1\n"), false)
+	f.Fuzz(func(t *testing.T, wire []byte, snapshot bool) {
+		g, err := graph.ParseEdgeListLimits(wire, 256, 1024)
+		if err != nil {
+			t.Skip()
+		}
+		dir := t.TempDir()
+		s, _, _, err := Open(Options{Dir: dir, SnapshotEvery: -1})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if err := s.AppendGraph(g, json.RawMessage(`{"kind":"fuzz"}`)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		if snapshot {
+			if err := s.Snapshot(); err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+		}
+		s.Crash()
+
+		s2, recovered, stats, err := Open(Options{Dir: dir, SnapshotEvery: -1})
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer s2.Close()
+		if stats.TornTail || stats.Quarantined != 0 {
+			t.Fatalf("clean round trip reported damage: %+v", stats)
+		}
+		if len(recovered) != 1 {
+			t.Fatalf("recovered %d graphs, want 1", len(recovered))
+		}
+		rg := recovered[0]
+		if rg.Digest != g.Digest() || rg.Graph.Digest() != g.Digest() {
+			t.Fatalf("digest drift: stored %016x, recovered %016x", g.Digest(), rg.Graph.Digest())
+		}
+		if !bytes.Equal(graph.FormatEdgeList(rg.Graph), graph.FormatEdgeList(g)) {
+			t.Fatal("wire form drift across recovery")
+		}
+		if string(rg.Gen) != `{"kind":"fuzz"}` {
+			t.Fatalf("gen spec drift: %q", rg.Gen)
+		}
+	})
+}
+
+// FuzzManifestParse: arbitrary bytes never panic the manifest parser,
+// oversized inputs are rejected before allocation, and anything
+// accepted re-marshals to something the parser accepts again.
+func FuzzManifestParse(f *testing.F) {
+	valid, _ := json.Marshal(manifest{
+		FormatVersion: storeFormatVersion,
+		CodecVersion:  graph.EdgeListVersion,
+		SnapshotSeq:   7,
+		Snapshot:      "snapshot-0000000000000007.qcs",
+		Graphs: []manifestGraph{{
+			Digest: "0123456789abcdef", N: 4, M: 3,
+			Gen:       json.RawMessage(`{"kind":"path","n":4}`),
+			LastQuery: 9,
+			Sketch:    &SketchParams{Sources: []int{0, 2}, L: 4, K: 2, EpsT: 8},
+		}},
+	})
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"formatVersion":1,"codecVersion":1,"graphs":[{"digest":"tooshort"}]}`))
+	f.Add([]byte(`{"formatVersion":99}`))
+	f.Add([]byte(`{"formatVersion":1,"codecVersion":1,"graphs":[{"digest":"0123456789abcdef","n":-1}]}`))
+	f.Add([]byte(`{"formatVersion":1,"codecVersion":1,"graphs":[{"digest":"0123456789abcdef","n":2,"sketch":{"sources":[5],"l":1,"k":1}}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := parseManifest(data) // must not panic
+		if len(data) > maxManifestBytes && err == nil {
+			t.Fatal("oversized manifest accepted")
+		}
+		if err != nil {
+			return
+		}
+		// Accepted manifests satisfy the validated invariants…
+		if m.FormatVersion != storeFormatVersion || m.CodecVersion != graph.EdgeListVersion {
+			t.Fatalf("accepted foreign versions: %+v", m)
+		}
+		for _, mg := range m.Graphs {
+			if _, err := parseDigest(mg.Digest); err != nil {
+				t.Fatalf("accepted bad digest %q", mg.Digest)
+			}
+			if mg.N < 0 || mg.M < 0 {
+				t.Fatalf("accepted negative shape %+v", mg)
+			}
+			if err := validateSketchShape(mg.Sketch, mg.N); err != nil {
+				t.Fatalf("accepted bad sketch hint: %v", err)
+			}
+		}
+		// …and survive a re-marshal round trip.
+		again, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if _, err := parseManifest(again); err != nil {
+			t.Fatalf("re-marshaled manifest rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package store
+
+// The manifest is the store's small JSON root document, rewritten
+// atomically at every snapshot: wire-format versions, the snapshot file
+// it blesses, the sequence number the snapshot covers, and one entry
+// per snapshotted graph (digest, shape, generator spec, and the
+// warm-start hints — last-query recency and the most recent sketch
+// parameter tuple). Graphs appended after the snapshot live in the log
+// only, carrying the same metadata in their record payloads.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"qcongest/internal/graph"
+)
+
+const (
+	// storeFormatVersion names the directory layout + record framing.
+	storeFormatVersion = 1
+	// maxManifestBytes bounds a manifest read, checked before parsing.
+	maxManifestBytes = 16 << 20
+	// maxManifestGraphs bounds the declared graph list.
+	maxManifestGraphs = 1 << 20
+)
+
+// SketchParams is the Lemma 3.2 parameter tuple persisted as a
+// warm-start hint: on reboot the service can rebuild exactly the sketch
+// the graph was last queried with.
+type SketchParams struct {
+	// Sources is the skeleton source set, in request order (order is
+	// part of the cache identity).
+	Sources []int `json:"sources"`
+	// L is the hop budget.
+	L int `json:"l"`
+	// K is the sparsification parameter.
+	K int `json:"k"`
+	// EpsT is the requested inverse rounding parameter (0 = server
+	// default for the graph).
+	EpsT int64 `json:"epsT,omitempty"`
+}
+
+// clone returns a deep copy so the store never aliases request slices.
+func (p *SketchParams) clone() *SketchParams {
+	if p == nil {
+		return nil
+	}
+	c := *p
+	c.Sources = append([]int(nil), p.Sources...)
+	return &c
+}
+
+// manifestGraph is one snapshotted graph's manifest entry.
+type manifestGraph struct {
+	Digest    string          `json:"digest"`
+	N         int             `json:"n"`
+	M         int             `json:"m"`
+	Gen       json.RawMessage `json:"gen,omitempty"`
+	LastQuery uint64          `json:"lastQuery,omitempty"`
+	Sketch    *SketchParams   `json:"sketch,omitempty"`
+}
+
+// manifest is the root document (manifest.json).
+type manifest struct {
+	FormatVersion int             `json:"formatVersion"`
+	CodecVersion  int             `json:"codecVersion"`
+	SnapshotSeq   uint64          `json:"snapshotSeq"`
+	Snapshot      string          `json:"snapshot,omitempty"`
+	Graphs        []manifestGraph `json:"graphs"`
+}
+
+// parseManifest decodes and validates a manifest document. Size limits
+// are enforced before decoding so arbitrary bytes can neither panic nor
+// demand allocation beyond a multiple of their own length (the fuzz
+// contract of FuzzManifestParse).
+func parseManifest(data []byte) (*manifest, error) {
+	if len(data) > maxManifestBytes {
+		return nil, fmt.Errorf("store: manifest of %d bytes exceeds limit %d", len(data), maxManifestBytes)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("store: parsing manifest: %w", err)
+	}
+	if m.FormatVersion != storeFormatVersion {
+		return nil, fmt.Errorf("store: manifest format version %d (this build reads %d)", m.FormatVersion, storeFormatVersion)
+	}
+	if m.CodecVersion != graph.EdgeListVersion {
+		return nil, fmt.Errorf("store: manifest codec version %d (this build reads %d)", m.CodecVersion, graph.EdgeListVersion)
+	}
+	if len(m.Graphs) > maxManifestGraphs {
+		return nil, fmt.Errorf("store: manifest declares %d graphs, above limit %d", len(m.Graphs), maxManifestGraphs)
+	}
+	for i := range m.Graphs {
+		mg := &m.Graphs[i]
+		if _, err := parseDigest(mg.Digest); err != nil {
+			return nil, fmt.Errorf("store: manifest graph %d: %w", i, err)
+		}
+		if mg.N < 0 || mg.M < 0 {
+			return nil, fmt.Errorf("store: manifest graph %s declares negative shape n=%d m=%d", mg.Digest, mg.N, mg.M)
+		}
+		if err := validateSketchShape(mg.Sketch, mg.N); err != nil {
+			return nil, fmt.Errorf("store: manifest graph %s: %w", mg.Digest, err)
+		}
+	}
+	return &m, nil
+}
+
+// maxHintEpsT mirrors the serving layer's maxEpsT request bound
+// (internal/svc/handlers.go): with T <= 2^20 the rational arithmetic
+// stays far from int64 overflow. A recovered hint outside the bounds a
+// live request must satisfy could never have been recorded by a
+// healthy store, so it is rot — rejected, not replayed.
+const maxHintEpsT = 1 << 20
+
+// maxHintSources bounds a hint's source-set size. Requests may repeat
+// sources (order and multiplicity are cache identity), so the bound is
+// an absolute sanity cap against rot, not the graph's node count.
+const maxHintSources = 1 << 16
+
+// validateSketchShape rejects warm-start hints that could not have come
+// from a real query — out-of-range sources, non-positive l/k, or l/epsT
+// beyond the serving layer's request caps — so a corrupt hint can
+// neither panic the skeleton builder nor turn boot-time warming into an
+// overflow or a CPU runaway.
+func validateSketchShape(p *SketchParams, n int) error {
+	if p == nil {
+		return nil
+	}
+	if len(p.Sources) == 0 || len(p.Sources) > maxHintSources {
+		return fmt.Errorf("sketch hint has %d sources (need 1..%d)", len(p.Sources), maxHintSources)
+	}
+	for _, s := range p.Sources {
+		if s < 0 || s >= n {
+			return fmt.Errorf("sketch hint source %d out of range [0,%d)", s, n)
+		}
+	}
+	if p.L < 1 || p.L > 4*n {
+		return fmt.Errorf("sketch hint hop budget l=%d outside [1, 4n=%d]", p.L, 4*n)
+	}
+	if p.K < 1 || p.EpsT < 0 || p.EpsT > maxHintEpsT {
+		return fmt.Errorf("sketch hint has k=%d epsT=%d (need k >= 1, 0 <= epsT <= %d)", p.K, p.EpsT, int64(maxHintEpsT))
+	}
+	return nil
+}
+
+// formatDigest renders the canonical digest form used in every
+// persisted document (graph.DigestString).
+func formatDigest(d uint64) string { return graph.DigestString(d) }
+
+// parseDigest is the inverse of formatDigest. Stricter than the HTTP
+// layer's ParseDigest (exactly 16 digits, never 1-15): persisted
+// documents are machine-written, so any deviation is corruption.
+func parseDigest(s string) (uint64, error) {
+	if len(s) != 16 {
+		return 0, fmt.Errorf("store: digest %q is not 16 hex digits", s)
+	}
+	d, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("store: bad digest %q", s)
+	}
+	return d, nil
+}

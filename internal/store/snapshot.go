@@ -1,0 +1,152 @@
+package store
+
+// Record payload codecs and the snapshot reader. A graph payload is one
+// JSON metadata line (digest + optional generator spec) followed by the
+// versioned edge-list wire form of the graph; a touch payload is a
+// single JSON line. The snapshot file is simply the framed graph
+// records of every resident graph in registration order — the same
+// framing as the log, so one scanner serves both — published atomically
+// and blessed by the manifest.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"qcongest/internal/graph"
+)
+
+// graphMeta is the JSON head line of a graph record payload.
+type graphMeta struct {
+	Digest string          `json:"digest"`
+	Gen    json.RawMessage `json:"gen,omitempty"`
+}
+
+// touchMeta is a touch record payload: a query recency hint.
+type touchMeta struct {
+	Digest string        `json:"digest"`
+	Sketch *SketchParams `json:"sketch,omitempty"`
+}
+
+// encodeGraphPayload renders one graph record payload. The digest is
+// stored explicitly (not just recomputed) so replay can distinguish
+// "payload corrupted" from "graph legitimately changed encoding".
+func encodeGraphPayload(digest uint64, gen json.RawMessage, g *graph.Graph) ([]byte, error) {
+	meta, err := json.Marshal(graphMeta{Digest: formatDigest(digest), Gen: gen})
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding graph meta: %w", err)
+	}
+	wire := graph.FormatEdgeListVersioned(g)
+	payload := make([]byte, 0, len(meta)+1+len(wire))
+	payload = append(payload, meta...)
+	payload = append(payload, '\n')
+	payload = append(payload, wire...)
+	return payload, nil
+}
+
+// decodeGraphPayload parses a graph record payload and verifies the
+// recovered graph's recomputed digest against the stored one — the
+// replay-time integrity check the manifest rationale in DESIGN.md §9
+// hangs on. maxNodes/maxEdges bound the parse before allocation
+// (0 = unbounded).
+func decodeGraphPayload(payload []byte, maxNodes, maxEdges int) (digest uint64, gen json.RawMessage, g *graph.Graph, err error) {
+	head, rest, ok := bytes.Cut(payload, []byte{'\n'})
+	if !ok {
+		return 0, nil, nil, fmt.Errorf("store: graph payload missing meta line")
+	}
+	var meta graphMeta
+	if err := json.Unmarshal(head, &meta); err != nil {
+		return 0, nil, nil, fmt.Errorf("store: graph payload meta: %w", err)
+	}
+	digest, err = parseDigest(meta.Digest)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	g, err = graph.ParseEdgeListLimits(rest, maxNodes, maxEdges)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if got := g.Digest(); got != digest {
+		return 0, nil, nil, fmt.Errorf("store: graph digest %s recovered as %s", meta.Digest, formatDigest(got))
+	}
+	return digest, meta.Gen, g, nil
+}
+
+// encodeTouchPayload renders one touch record payload.
+func encodeTouchPayload(digest uint64, sk *SketchParams) ([]byte, error) {
+	return json.Marshal(touchMeta{Digest: formatDigest(digest), Sketch: sk})
+}
+
+// decodeTouchPayload parses a touch record payload.
+func decodeTouchPayload(payload []byte) (digest uint64, sk *SketchParams, err error) {
+	var meta touchMeta
+	if err := json.Unmarshal(payload, &meta); err != nil {
+		return 0, nil, fmt.Errorf("store: touch payload: %w", err)
+	}
+	digest, err = parseDigest(meta.Digest)
+	if err != nil {
+		return 0, nil, err
+	}
+	return digest, meta.Sketch, nil
+}
+
+// encodeSnapshot renders the snapshot file body: every graph as a
+// framed record (seq = registration index; snapshot record seqs only
+// order the file, the manifest's SnapshotSeq is what replay compares
+// log records against).
+func encodeSnapshot(recs []*graphRec) ([]byte, error) {
+	var buf bytes.Buffer
+	for i, r := range recs {
+		payload, err := encodeGraphPayload(r.digest, r.gen, r.g)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := appendRecord(&buf, uint64(i), recGraph, payload); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// readSnapshot loads the snapshot file named by the manifest, returning
+// the surviving graph records keyed by digest alongside per-record
+// failures (quarantined by the caller). A snapshot that cannot be read
+// at all is reported as one failure; recovery then proceeds from the
+// log alone rather than refusing to boot.
+func readSnapshot(path string, maxNodes, maxEdges int) (recs []*graphRec, failures []recFailure) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, []recFailure{{name: "snapshot", err: err}}
+	}
+	defer f.Close()
+	res, scanErr := scanRecords(f, func(seq uint64, kind string, payload []byte) error {
+		if kind != recGraph {
+			failures = append(failures, recFailure{name: fmt.Sprintf("snapshot-rec-%d", seq), err: fmt.Errorf("store: unexpected %s record in snapshot", kind), raw: payload})
+			return nil
+		}
+		digest, gen, g, err := decodeGraphPayload(payload, maxNodes, maxEdges)
+		if err != nil {
+			failures = append(failures, recFailure{name: fmt.Sprintf("snapshot-rec-%d", seq), err: err, raw: payload})
+			return nil
+		}
+		recs = append(recs, &graphRec{g: g, digest: digest, gen: gen})
+		return nil
+	})
+	if scanErr != nil {
+		failures = append(failures, recFailure{name: "snapshot", err: scanErr})
+	}
+	if res.torn {
+		// Snapshots are published atomically, so a torn snapshot means
+		// post-publication corruption; salvage the intact prefix.
+		failures = append(failures, recFailure{name: "snapshot-tail", err: res.tornErr})
+	}
+	return recs, failures
+}
+
+// recFailure is one quarantinable replay casualty.
+type recFailure struct {
+	name string
+	err  error
+	raw  []byte
+}

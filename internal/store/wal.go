@@ -1,0 +1,173 @@
+package store
+
+// The append-only log format. One record is
+//
+//	rec <seq> <kind> <len> <crc32>\n
+//	<len payload bytes>\n
+//
+// with the CRC32 (IEEE) taken over "<seq> <kind> <len> " followed by
+// the payload — covering the header fields too, so a flipped digit in
+// a record's sequence number fails the checksum instead of silently
+// re-sequencing a committed record past the replay filter. The header
+// is line-oriented so a hex dump of a data dir is readable, but the
+// payload is length-framed raw bytes, so payloads may contain anything.
+//
+// The commit point of a record is "header + payload + trailing newline
+// fully on disk": replay accepts a record only when all three parse and
+// the checksum matches, so a crash mid-write leaves a detectable torn
+// tail which recovery truncates. Records carry monotonically increasing
+// sequence numbers; replay skips records at or below the manifest's
+// snapshot sequence, which is what makes the snapshot→rotate dance
+// crash-safe at every intermediate step (see store.go).
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Record kinds. Graph records are fsynced at append (their commit is
+// the durability contract of the API); touch records are best-effort
+// recency hints for warm restarts and ride the write buffer.
+const (
+	recGraph = "graph"
+	recTouch = "touch"
+)
+
+// maxRecordBytes bounds one record's declared payload length, checked
+// before any allocation so a corrupt few-byte header cannot request an
+// enormous buffer. It matches the service's default request-body cap.
+const maxRecordBytes = 64 << 20
+
+// maxHeaderBytes bounds one header line during a scan. A legitimate
+// header is well under 64 bytes; a newline-free corrupt region (a
+// zero-filled extent, say) must be rejected after this many bytes, not
+// slurped whole into memory looking for the terminator.
+const maxHeaderBytes = 128
+
+// recordSum is the record checksum: CRC32 over the header fields and
+// the payload, so neither can be corrupted independently of the other.
+func recordSum(seq uint64, kind string, payload []byte) uint32 {
+	h := crc32.NewIEEE()
+	fmt.Fprintf(h, "%d %s %d ", seq, kind, len(payload))
+	h.Write(payload)
+	return h.Sum32()
+}
+
+// appendRecord frames payload as one record onto w, returning the
+// record's on-disk footprint.
+func appendRecord(w io.Writer, seq uint64, kind string, payload []byte) (int64, error) {
+	hn, err := fmt.Fprintf(w, "rec %d %s %d %08x\n", seq, kind, len(payload), recordSum(seq, kind, payload))
+	if err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write([]byte{'\n'}); err != nil {
+		return 0, err
+	}
+	return int64(hn) + int64(len(payload)) + 1, nil
+}
+
+// scanResult reports what one file scan saw.
+type scanResult struct {
+	// good is the byte offset just past the last intact record;
+	// recovery truncates a torn active log to this.
+	good int64
+	// torn reports that the file ends (from good onward) in bytes that
+	// do not frame an intact record — a torn write or tail corruption.
+	torn bool
+	// tornErr describes the tear (nil when torn is false).
+	tornErr error
+}
+
+// scanRecords streams the intact record prefix of r to fn, stopping at
+// the first framing or checksum failure (which is reported as the torn
+// tail, not an error: a torn tail is an expected crash artifact). fn
+// errors abort the scan and are returned verbatim.
+func scanRecords(r io.Reader, fn func(seq uint64, kind string, payload []byte) error) (scanResult, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	res := scanResult{}
+	for {
+		header, err := readHeaderLine(br)
+		if err == io.EOF && header == "" {
+			return res, nil // clean end
+		}
+		if err != nil {
+			res.torn, res.tornErr = true, fmt.Errorf("store: unterminated record header: %w", err)
+			return res, nil
+		}
+		seq, kind, payloadLen, sum, perr := parseRecordHeader(header)
+		if perr != nil {
+			res.torn, res.tornErr = true, perr
+			return res, nil
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			res.torn, res.tornErr = true, fmt.Errorf("store: record %d: short payload: %w", seq, err)
+			return res, nil
+		}
+		if nl, err := br.ReadByte(); err != nil || nl != '\n' {
+			res.torn, res.tornErr = true, fmt.Errorf("store: record %d: missing payload terminator", seq)
+			return res, nil
+		}
+		if got := recordSum(seq, kind, payload); got != sum {
+			res.torn, res.tornErr = true, fmt.Errorf("store: record %d: checksum %08x != %08x", seq, got, sum)
+			return res, nil
+		}
+		if err := fn(seq, kind, payload); err != nil {
+			return res, err
+		}
+		res.good += int64(len(header)) + int64(payloadLen) + 1
+	}
+}
+
+// readHeaderLine reads one newline-terminated header line of at most
+// maxHeaderBytes. io.EOF with an empty result is a clean file end.
+func readHeaderLine(br *bufio.Reader) (string, error) {
+	buf := make([]byte, 0, 64)
+	for len(buf) < maxHeaderBytes {
+		c, err := br.ReadByte()
+		if err != nil {
+			return string(buf), err
+		}
+		buf = append(buf, c)
+		if c == '\n' {
+			return string(buf), nil
+		}
+	}
+	return string(buf), fmt.Errorf("store: record header exceeds %d bytes", maxHeaderBytes)
+}
+
+// parseRecordHeader validates one "rec <seq> <kind> <len> <crc32>" line.
+// The length bound is enforced here, before the payload buffer exists.
+func parseRecordHeader(header string) (seq uint64, kind string, payloadLen int, sum uint32, err error) {
+	fields := strings.Fields(strings.TrimSuffix(header, "\n"))
+	if len(fields) != 5 || fields[0] != "rec" {
+		return 0, "", 0, 0, fmt.Errorf("store: malformed record header %q", header)
+	}
+	seq, err = strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0, "", 0, 0, fmt.Errorf("store: bad record seq %q", fields[1])
+	}
+	kind = fields[2]
+	if kind != recGraph && kind != recTouch {
+		return 0, "", 0, 0, fmt.Errorf("store: unknown record kind %q", kind)
+	}
+	payloadLen, err = strconv.Atoi(fields[3])
+	if err != nil || payloadLen < 0 || payloadLen > maxRecordBytes {
+		return 0, "", 0, 0, fmt.Errorf("store: record %d: payload length %q out of [0, %d]", seq, fields[3], maxRecordBytes)
+	}
+	if len(fields[4]) != 8 {
+		return 0, "", 0, 0, fmt.Errorf("store: record %d: malformed checksum %q", seq, fields[4])
+	}
+	sum64, err := strconv.ParseUint(fields[4], 16, 32)
+	if err != nil {
+		return 0, "", 0, 0, fmt.Errorf("store: record %d: malformed checksum %q", seq, fields[4])
+	}
+	return seq, kind, payloadLen, uint32(sum64), nil
+}

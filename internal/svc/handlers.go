@@ -15,6 +15,7 @@ import (
 	"qcongest/internal/congest"
 	"qcongest/internal/dist"
 	"qcongest/internal/graph"
+	"qcongest/internal/store"
 )
 
 // maxEpsT bounds the client-supplied inverse rounding parameter: with
@@ -104,6 +105,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Graphs:        s.reg.len(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
+	if s.store != nil {
+		resp.Store = &StoreHealth{
+			RecoveredGraphs:    s.recovery.SnapshotGraphs + s.recovery.LogGraphs,
+			QuarantinedRecords: s.recovery.Quarantined,
+			ReplayMs:           float64(s.recovery.Replay.Microseconds()) / 1000,
+			WarmupTarget:       s.warmTarget.Load(),
+			WarmupDone:         s.warmDone.Load(),
+		}
+	}
 	code := http.StatusOK
 	if !s.healthy.Load() {
 		resp.Status = "draining"
@@ -180,6 +190,24 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 	e, created, err := s.reg.put(g)
 	if err != nil {
 		writeError(w, http.StatusInsufficientStorage, "%v (capacity %d)", err, s.cfg.MaxGraphs)
+		return
+	}
+	if created {
+		// Durably commit before acknowledging (in-memory servers no-op):
+		// a 2xx upload must survive a crash at any later byte boundary.
+		var gen []byte
+		if req.Gen != nil {
+			gen, _ = json.Marshal(req.Gen)
+		}
+		if err := s.persistGraph(e, gen); err != nil {
+			writeError(w, http.StatusInternalServerError, "persisting graph: %v", err)
+			return
+		}
+	} else if err := s.awaitDurable(r.Context(), e); err != nil {
+		// We raced the creating request and its durable append failed
+		// (the entry was rolled back): this acknowledgment would be a
+		// durability receipt for nothing.
+		writeError(w, http.StatusInternalServerError, "persisting graph: %v", err)
 		return
 	}
 	code := http.StatusOK
@@ -320,14 +348,20 @@ func (s *Server) handleExactMetric(w http.ResponseWriter, r *http.Request, e *en
 			return
 		}
 	}
-	g := s.query
-	if !e.metricsReady() {
+	g, warm := s.query, e.metricsReady()
+	if !warm {
 		g = s.build
 	}
 	if !admit(w, r.Context(), g) {
 		return
 	}
 	defer g.leave()
+	if warm {
+		// Counted only for admitted requests: shed traffic never
+		// inflates the warm-start payoff ledger.
+		s.noteWarmHit(e)
+	}
+	s.touch(e, nil)
 	diam, rad, eccs := e.metrics()
 	resp := MetricResponse{Digest: e.info.Digest, Metric: metric}
 	switch metric {
@@ -398,15 +432,23 @@ func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request, e *entry) 
 	// Skeleton just means this request holds the other gate's slot,
 	// which is harmless. leave() is deferred: a panic out of a failed
 	// deduplicated build must not leak the slot.
-	gate := s.query
-	if !s.cache.Peek(e.g, req.Sources, req.L, req.K, eps) {
+	gate, warm := s.query, s.cache.Peek(e.g, req.Sources, req.L, req.K, eps)
+	if !warm {
 		gate = s.build
 	}
 	if !admit(w, r.Context(), gate) {
 		return
 	}
 	defer gate.leave()
+	if warm {
+		s.noteWarmHit(e)
+	}
 	sk := s.cache.Skeleton(e.g, req.Sources, req.L, req.K, eps)
+	// Record the tuple as the graph's warm-start hint only now that the
+	// build succeeded: a tuple that panics the builder (failed
+	// deduplicated flight) must never become a persisted hint the next
+	// boot replays.
+	s.touch(e, &store.SketchParams{Sources: req.Sources, L: req.L, K: req.K, EpsT: req.EpsT})
 	resp := SketchResponse{
 		Digest:         e.info.Digest,
 		EpsT:           eps.T,

@@ -128,5 +128,24 @@ func (s *Server) snapshot() MetricsSnapshot {
 			P99Ms:    c.quantileMs(0.99),
 		}
 	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		snap.Store = &StoreMetrics{
+			Graphs:             ss.Graphs,
+			Appends:            ss.Appends,
+			Touches:            ss.Touches,
+			Snapshots:          ss.Snapshots,
+			WALBytes:           ss.WALBytes,
+			SnapshotBytes:      ss.SnapshotBytes,
+			RecoveredGraphs:    s.recovery.SnapshotGraphs + s.recovery.LogGraphs,
+			QuarantinedRecords: s.recovery.Quarantined,
+			TornTailTruncated:  s.recovery.TornTail,
+			ReplayMs:           float64(s.recovery.Replay.Microseconds()) / 1000,
+			WarmupTarget:       s.warmTarget.Load(),
+			WarmupDone:         s.warmDone.Load(),
+			WarmStartHits:      s.warmHits.Load(),
+			LastSnapshotError:  ss.LastSnapshotError,
+		}
+	}
 	return snap
 }

@@ -7,11 +7,12 @@ import (
 	"sync/atomic"
 
 	"qcongest/internal/graph"
+	"qcongest/internal/store"
 )
 
 // FormatDigest renders a graph digest as the canonical 16-hex-digit
-// string used in URLs and JSON ("%016x").
-func FormatDigest(d uint64) string { return fmt.Sprintf("%016x", d) }
+// string used in URLs and JSON (graph.DigestString).
+func FormatDigest(d uint64) string { return graph.DigestString(d) }
 
 // ParseDigest parses the canonical digest form (any 1-16 digit hex
 // string is accepted).
@@ -26,14 +27,31 @@ func ParseDigest(s string) (uint64, error) {
 // The graph is immutable after registration — the digest names it
 // forever — so the metric memo never needs invalidation.
 type entry struct {
-	g    *graph.Graph
-	info GraphInfo
+	g      *graph.Graph
+	digest uint64
+	info   GraphInfo
 
 	once  sync.Once
 	ready atomic.Bool // set after once ran; steers admission class
 	eccs  []int64
 	diam  int64
 	rad   int64
+
+	// prewarmed marks an entry whose memo (and recorded sketch, when
+	// warmSketch is non-nil) was rebuilt by the boot-time warm-start
+	// pass; reads against it count as warm-start hits in /metrics.
+	prewarmed atomic.Bool
+	// warmSketch is the recovered sketch hint this entry was (or will
+	// be) pre-warmed with; immutable after replay.
+	warmSketch *store.SketchParams
+
+	// durable is closed once the entry's persistence is settled — the
+	// store fsync completed (or failed, or the server is in-memory).
+	// A concurrent duplicate upload waits on it before answering, so
+	// every 2xx upload response, not just the first, is a durability
+	// receipt. persistErr is written before the close.
+	durable    chan struct{}
+	persistErr error
 }
 
 // metrics returns the exact weighted eccentricities, diameter, and
@@ -91,7 +109,9 @@ func (r *registry) put(g *graph.Graph) (e *entry, created bool, err error) {
 		return nil, false, errRegistryFull
 	}
 	e = &entry{
-		g: g,
+		g:       g,
+		digest:  digest,
+		durable: make(chan struct{}),
 		info: GraphInfo{
 			Digest:    FormatDigest(digest),
 			N:         g.N(),
@@ -102,6 +122,25 @@ func (r *registry) put(g *graph.Graph) (e *entry, created bool, err error) {
 	r.byDigest[digest] = e
 	r.order = append(r.order, digest)
 	return e, true, nil
+}
+
+// remove unregisters a digest. It exists for exactly one caller: the
+// upload handler rolling back a registration whose durable append
+// failed, so the registry never serves a graph the store could not
+// commit.
+func (r *registry) remove(digest uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byDigest[digest]; !ok {
+		return
+	}
+	delete(r.byDigest, digest)
+	for i, d := range r.order {
+		if d == digest {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
 }
 
 func (r *registry) get(digest uint64) (*entry, bool) {

@@ -28,15 +28,26 @@
 // through a wide query gate — a burst of cold builds saturates the
 // build gate and returns 503, it cannot starve warm traffic. See
 // DESIGN.md §8 for the architecture chapter.
+//
+// With Config.DataDir set (and the Open constructor), the registry is
+// durable: every committed graph is fsynced into the crash-safe store
+// of internal/store before the upload is acknowledged, a reboot replays
+// it with digest verification (corrupt records are quarantined, never
+// served), and the K most-recently-queried graphs are optionally
+// pre-warmed back into the metric memos and sketch cache. Recovery and
+// warm-up progress surface through /healthz and /metrics. See DESIGN.md
+// §9 for the durability chapter.
 package svc
 
 import (
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"qcongest/internal/server"
+	"qcongest/internal/store"
 )
 
 // Config tunes the daemon. The zero value is runnable: every field has
@@ -75,6 +86,20 @@ type Config struct {
 	MaxBatchNodes int
 	// MaxBodyBytes bounds one request body (default 64 MiB).
 	MaxBodyBytes int64
+	// DataDir, when non-empty, makes the registry durable: graphs are
+	// committed to a crash-safe on-disk store (internal/store) and
+	// replayed — digest-verified — on the next Open over the same
+	// directory. Empty keeps the PR 4 in-memory behavior. Only Open
+	// honors this field; New always builds an in-memory server.
+	DataDir string
+	// WarmStart pre-warms the exact-metric memos and the sketch cache
+	// for the K most-recently-queried recovered graphs after a
+	// persistent boot (0 disables; ignored without DataDir).
+	WarmStart int
+	// SnapshotEvery is the store's automatic snapshot cadence in graph
+	// appends (0 = store default 64, negative disables; ignored without
+	// DataDir).
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -127,11 +152,24 @@ type Server struct {
 	query   *gate
 	start   time.Time
 	healthy atomic.Bool
+
+	// Durability state (nil store = in-memory server). See persist.go.
+	store      *store.Store
+	recovery   store.RecoveryStats
+	warmTarget atomic.Int64
+	warmDone   atomic.Int64
+	warmHits   atomic.Int64
+	warmStop   chan struct{}
+	warmWG     sync.WaitGroup
 }
 
-// New returns a ready-to-serve Server with cfg's defaults applied.
+// New returns a ready-to-serve in-memory Server with cfg's defaults
+// applied. Use Open to honor Config.DataDir.
 func New(cfg Config) *Server {
-	cfg = cfg.withDefaults()
+	return newServer(cfg.withDefaults())
+}
+
+func newServer(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		reg:     newRegistry(cfg.MaxGraphs),

@@ -187,6 +187,26 @@ type BatchResponse struct {
 	Results []BatchEntry `json:"results"`
 }
 
+// StoreHealth is the durability section of /healthz, present only when
+// the daemon runs over a -data-dir. The daemon is "ok" while warm-up is
+// still in progress — warmth affects latency, never correctness — so
+// load balancers admit a recovering daemon immediately.
+type StoreHealth struct {
+	// RecoveredGraphs counts graphs replayed (snapshot + log) at boot.
+	RecoveredGraphs int `json:"recoveredGraphs"`
+	// QuarantinedRecords counts boot-time casualties: records that
+	// failed digest or checksum verification and were moved aside.
+	QuarantinedRecords int `json:"quarantinedRecords"`
+	// ReplayMs is the boot-time recovery duration in milliseconds.
+	ReplayMs float64 `json:"replayMs"`
+	// WarmupTarget is the number of graphs the warm-start pass will
+	// pre-warm; WarmupDone counts how many it has finished. Equal means
+	// the warm-start pass is complete.
+	WarmupTarget int64 `json:"warmupTarget"`
+	// WarmupDone counts pre-warmed graphs so far.
+	WarmupDone int64 `json:"warmupDone"`
+}
+
 // HealthResponse answers GET /healthz.
 type HealthResponse struct {
 	// Status is "ok" while serving, "draining" during graceful
@@ -196,6 +216,8 @@ type HealthResponse struct {
 	Graphs int `json:"graphs"`
 	// UptimeSeconds is the time since New.
 	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// Store reports recovery/warm-up progress (persistent daemons only).
+	Store *StoreHealth `json:"store,omitempty"`
 }
 
 // CacheMetrics is the sketch-cache section of /metrics, mirroring
@@ -233,6 +255,42 @@ type RequestMetrics struct {
 	P99Ms float64 `json:"p99Ms"`
 }
 
+// StoreMetrics is the durability section of /metrics, present only for
+// persistent daemons.
+type StoreMetrics struct {
+	// Graphs is the store's resident graph count.
+	Graphs int `json:"graphs"`
+	// Appends counts durable graph commits since boot.
+	Appends int64 `json:"appends"`
+	// Touches counts recorded query-recency hints since boot.
+	Touches int64 `json:"touches"`
+	// Snapshots counts log-to-snapshot folds since boot.
+	Snapshots int64 `json:"snapshots"`
+	// WALBytes is the active append-only log's size.
+	WALBytes int64 `json:"walBytes"`
+	// SnapshotBytes is the latest snapshot's size.
+	SnapshotBytes int64 `json:"snapshotBytes"`
+	// RecoveredGraphs counts graphs replayed at boot.
+	RecoveredGraphs int `json:"recoveredGraphs"`
+	// QuarantinedRecords counts boot-time verification casualties.
+	QuarantinedRecords int `json:"quarantinedRecords"`
+	// TornTailTruncated reports that boot truncated a torn log tail
+	// (the expected artifact of a crash mid-append).
+	TornTailTruncated bool `json:"tornTailTruncated"`
+	// ReplayMs is the boot-time recovery duration in milliseconds.
+	ReplayMs float64 `json:"replayMs"`
+	// WarmupTarget/WarmupDone track the boot-time warm-start pass.
+	WarmupTarget int64 `json:"warmupTarget"`
+	// WarmupDone counts pre-warmed graphs so far.
+	WarmupDone int64 `json:"warmupDone"`
+	// WarmStartHits counts warm reads served against pre-warmed graphs
+	// — the payoff ledger of the warm-start pass.
+	WarmStartHits int64 `json:"warmStartHits"`
+	// LastSnapshotError is the most recent automatic-snapshot failure
+	// ("" when healthy); the log keeps committing regardless.
+	LastSnapshotError string `json:"lastSnapshotError,omitempty"`
+}
+
 // MetricsSnapshot answers GET /metrics.
 type MetricsSnapshot struct {
 	// UptimeSeconds is the time since New.
@@ -248,4 +306,6 @@ type MetricsSnapshot struct {
 	// Requests maps request class ("upload", "query", "sketch",
 	// "batch") to its ledger.
 	Requests map[string]RequestMetrics `json:"requests"`
+	// Store is the durability section (persistent daemons only).
+	Store *StoreMetrics `json:"store,omitempty"`
 }

@@ -158,9 +158,14 @@ type (
 )
 
 // Serving-layer constructors and the edge-list wire codec (the upload
-// format of POST /v1/graphs).
+// format of POST /v1/graphs). OpenService is NewService plus
+// durability: with ServiceConfig.DataDir set it opens the crash-safe
+// graph store there, replays every committed graph, and pre-warms the
+// ServiceConfig.WarmStart hottest ones (API.md "Persistence and warm
+// restarts", DESIGN.md §9); the caller owns Service.Close.
 var (
 	NewService       = svc.New
+	OpenService      = svc.Open
 	NewServiceClient = svc.NewClient
 	FormatEdgeList   = graph.FormatEdgeList
 	ParseEdgeList    = graph.ParseEdgeList
