@@ -8,8 +8,13 @@
 // re-runs the E1–E13 experiment drivers under the parallel engine (via
 // congest.DefaultWorkers) and asserts their full reports are unchanged;
 // Part C does the same for the distance kernel (direct skeleton builds
-// and the skeleton-heavy drivers, via dist.DefaultSkeletonWorkers). CI
-// runs this file with -count=3 under the `determinism` job.
+// and the skeleton-heavy drivers, via dist.DefaultSkeletonWorkers);
+// Part D extends the contract over the kernel's relaxation engines:
+// every KernelMode × worker-count cell must reproduce the sparse
+// sequential numerators byte for byte (direct builds over the E-family
+// plus adversarial shapes, and the skeleton-heavy drivers via
+// dist.DefaultKernelMode). CI runs this file with -count=3 under the
+// `determinism` and `kernel-differential` jobs.
 package qcongest_test
 
 import (
@@ -272,6 +277,101 @@ func TestDeterminismSkeletonDrivers(t *testing.T) {
 				}
 				if !reflect.DeepEqual(got, ref) {
 					t.Errorf("distworkers=%d: report diverged from sequential run", workers)
+				}
+			}
+		})
+	}
+}
+
+// kernelDeterminismGraphs is the Part D corpus: the E-family shapes of
+// Part C plus the kernel-adversarial ones — a star (instant
+// sparse→dense flip), a long path (dense must never engage), a
+// high-degree fabric (the bottom-up BFS regime), and a disconnected
+// graph (unreached vertices stay Inf in every engine).
+func kernelDeterminismGraphs() []*graph.Graph {
+	rng := rand.New(rand.NewSource(73))
+	disconnected := graph.New(40)
+	for v := 1; v < 24; v++ {
+		disconnected.MustAddEdge(rng.Intn(v), v, 1+rng.Int63n(9))
+	}
+	for v := 25; v < 40; v++ {
+		disconnected.MustAddEdge(24+rng.Intn(v-24), v, 1+rng.Int63n(9))
+	}
+	return []*graph.Graph{
+		graph.RandomWeights(graph.RandomConnected(48, 140, rng), 11, rng),
+		graph.RandomWeights(graph.SpineLeaf(4, 6, 6, 2, 1), 7, rng),
+		graph.Barbell(6, 5),
+		graph.RandomWeights(graph.Star(65), 9, rng),
+		graph.Path(70),
+		disconnected,
+	}
+}
+
+// TestDeterminismKernelModes is Part D's direct-build half: for every
+// relaxation engine and every worker count, the full-vertex sketch
+// numerators (every approximate eccentricity, which exhausts the rows
+// and overlay) must be byte-identical to the sparse sequential build.
+func TestDeterminismKernelModes(t *testing.T) {
+	for gi, g := range kernelDeterminismGraphs() {
+		var s []int
+		for v := 0; v < g.N(); v += 3 {
+			s = append(s, v)
+		}
+		eps := dist.EpsForN(g.N())
+		capture := func(mode graph.KernelMode, workers int) []int64 {
+			sk := dist.BuildSkeletonWith(g, s, g.N()/2, 2, eps,
+				dist.BuildSkeletonOpts{Workers: workers, Kernel: mode})
+			eccs := make([]int64, g.N())
+			for v := range eccs {
+				eccs[v] = sk.ApproxEccentricity(v)
+			}
+			sk.Release()
+			return eccs
+		}
+		ref := capture(graph.KernelSparse, 1)
+		for _, mode := range graph.KernelModes() {
+			for _, workers := range workerCounts() {
+				if got := capture(mode, workers); !reflect.DeepEqual(got, ref) {
+					t.Errorf("graph %d, mode=%v, workers=%d: sketch numerators diverged from sparse sequential build",
+						gi, mode, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestDeterminismKernelModeDrivers is Part D's driver half: the
+// skeleton-heavy experiment reports must be unchanged under every
+// process-wide kernel mode (dist.DefaultKernelMode), exactly as Part C
+// pins them across worker counts.
+func TestDeterminismKernelModeDrivers(t *testing.T) {
+	drivers := []struct {
+		name string
+		run  func() (interface{}, error)
+	}{
+		{"E1/table1", func() (interface{}, error) { return exp.MeasuredTable1(40, 3) }},
+		{"E5/quality", func() (interface{}, error) { return exp.Quality(2, 24, core.DiameterMode, 3) }},
+		{"E14/spineleaf", func() (interface{}, error) {
+			return exp.SpineLeafSweep([]exp.SpineLeafConfig{{Spines: 2, Leaves: 3, Hosts: 3}}, 4, 3, 0, 0)
+		}},
+	}
+	defer func() { dist.DefaultKernelMode = graph.KernelAuto }()
+	for _, d := range drivers {
+		t.Run(d.name, func(t *testing.T) {
+			dist.DefaultKernelMode = graph.KernelSparse
+			ref, err := d.run()
+			if err != nil {
+				t.Fatalf("sparse: %v", err)
+			}
+			for _, mode := range graph.KernelModes() {
+				dist.DefaultKernelMode = mode
+				got, err := d.run()
+				dist.DefaultKernelMode = graph.KernelAuto
+				if err != nil {
+					t.Fatalf("mode=%v: %v", mode, err)
+				}
+				if !reflect.DeepEqual(got, ref) {
+					t.Errorf("mode=%v: report diverged from the sparse run", mode)
 				}
 			}
 		})

@@ -351,3 +351,82 @@ func FuzzRoundedHopDist(f *testing.F) {
 		}
 	})
 }
+
+// adversarialDistGraphs are the kernel-adversarial shapes of the
+// differential suite at the skeleton layer: a star (immediate
+// sparse→dense flip), a long path (dense must never engage), a
+// high-degree spine-leaf fabric (bottom-up regime), and a disconnected
+// union (unreached vertices stay Inf through the rounding scales).
+func adversarialDistGraphs() []*graph.Graph {
+	rng := rand.New(rand.NewSource(61))
+	disconnected := graph.New(44)
+	for v := 1; v < 28; v++ {
+		disconnected.MustAddEdge(rng.Intn(v), v, 1+rng.Int63n(9))
+	}
+	for v := 29; v < 44; v++ {
+		disconnected.MustAddEdge(28+rng.Intn(v-28), v, 1+rng.Int63n(9))
+	}
+	return []*graph.Graph{
+		graph.RandomWeights(graph.Star(65), 9, rng),
+		graph.Path(80),
+		graph.RandomWeights(graph.SpineLeaf(4, 8, 6, 2, 1), 11, rng),
+		disconnected,
+	}
+}
+
+// TestKernelModesSkeletonDifferential is the skeleton-layer half of the
+// differential harness: over the E1–E14 family plus the adversarial
+// shapes, every KernelMode × worker count must reproduce — byte for
+// byte — the rows, overlay, and full-vertex eccentricities of the
+// sparse sequential build, and the rows themselves must match the
+// pre-kernel golden reference (refRoundedBoundedHopDist). CI runs this
+// under -race -count=3 in the kernel-differential job.
+func TestKernelModesSkeletonDifferential(t *testing.T) {
+	graphs := append(goldenGraphs(), adversarialDistGraphs()...)
+	for gi, g := range graphs {
+		n := g.N()
+		eps := EpsForN(n)
+		var s []int
+		for v := 0; v < n; v += 4 {
+			s = append(s, v)
+		}
+		l, k := n/3+1, 2
+		type snapshot struct {
+			rows, overlay, eccs []int64
+		}
+		capture := func(mode graph.KernelMode, workers int) snapshot {
+			sk := BuildSkeletonWith(g, s, l, k, eps,
+				BuildSkeletonOpts{Workers: workers, Kernel: mode})
+			snap := snapshot{
+				rows:    append([]int64(nil), sk.bufs.rows...),
+				overlay: append([]int64(nil), sk.bufs.overlay...),
+				eccs:    make([]int64, n),
+			}
+			for v := 0; v < n; v++ {
+				snap.eccs[v] = sk.ApproxEccentricity(v)
+			}
+			sk.Release()
+			return snap
+		}
+		ref := capture(graph.KernelSparse, 1)
+		for j, v := range s {
+			if want := refRoundedBoundedHopDist(g, v, l, eps); !reflect.DeepEqual(ref.rows[j*n:(j+1)*n], want) {
+				t.Fatalf("graph %d: sparse row of source %d diverged from the golden reference", gi, v)
+			}
+		}
+		for _, mode := range graph.KernelModes() {
+			for _, workers := range workerCounts() {
+				got := capture(mode, workers)
+				if !reflect.DeepEqual(got.rows[:len(s)*n], ref.rows[:len(s)*n]) {
+					t.Fatalf("graph %d mode=%v workers=%d: rows diverged from sparse sequential build", gi, mode, workers)
+				}
+				if !reflect.DeepEqual(got.overlay, ref.overlay) {
+					t.Fatalf("graph %d mode=%v workers=%d: overlay diverged", gi, mode, workers)
+				}
+				if !reflect.DeepEqual(got.eccs, ref.eccs) {
+					t.Fatalf("graph %d mode=%v workers=%d: eccentricities diverged", gi, mode, workers)
+				}
+			}
+		}
+	}
+}

@@ -9,29 +9,76 @@ package graph
 // readable reference implementations; everything that computes
 // distances from many sources (APSP, eccentricities, the skeleton
 // builds of internal/dist, the sketch-serving layer of
-// internal/server) goes through a DistWorkspace. Results are
-// bit-identical to the reference implementations: the frontier-based
-// Bellman-Ford below is level-synchronous — hop h relaxes only nodes
-// improved during hop h-1, using their end-of-hop-(h-1) values — which
-// computes exactly the same d^l arrays as the full edge scan, because a
-// relaxation from a node whose value did not change last hop was
-// already applied the hop before.
+// internal/server) goes through a DistWorkspace.
+//
+// The workspace runs one of several relaxation engines, selected by
+// KernelMode (see kernelmode.go). All engines are bit-identical to the
+// reference implementations and to each other:
+//
+//   - sparse: the level-synchronous frontier worklist — hop h relaxes
+//     only nodes improved during hop h-1, using their end-of-hop-(h-1)
+//     values, which computes exactly the same d^l arrays as the full
+//     edge scan, because a relaxation from a node whose value did not
+//     change last hop was already applied the hop before.
+//   - dense: the direction-optimizing variant — the frontier is a
+//     bitset and each hop scans every vertex, pulling relaxations from
+//     marked neighbors against the same start-of-hop snapshot. The set
+//     of relaxations applied per hop is identical to the sparse push,
+//     and min over int64 is order-independent, so the distances (and
+//     hence the next frontier) are bit-equal hop by hop.
+//   - delta: delta-stepping buckets for the weighted passes. Bucket
+//     draining computes the unbounded shortest distances (an
+//     order-independent fixpoint), so bounded-hop calls verify the hop
+//     budget never bound — tracking the minimum hop count among
+//     min-weight paths — and fall back to the hop-synchronous engines
+//     when it did.
+//
+// The auto mode flips sparse↔dense at hop boundaries only, so a hop
+// always runs one engine start to finish; the differential suite and
+// FuzzKernelEquivalence pin all modes against each other and the
+// references.
 
 // DistWorkspace is a scratch arena for repeated distance computations
 // on one graph: a flat CSR adjacency (built once, shared by clones),
-// distance/frontier arrays, a BFS queue, and a Dijkstra heap, all
-// reused across calls. A workspace is NOT safe for concurrent use;
-// worker pools give each worker its own Clone (clones share the
-// read-only CSR and own their scratch).
+// distance/frontier arrays, frontier bitsets, delta-stepping buckets,
+// a BFS queue, and a Dijkstra heap, all reused across calls. A
+// workspace is NOT safe for concurrent use; worker pools give each
+// worker its own Clone (clones share the read-only CSR and own their
+// scratch).
 type DistWorkspace struct {
-	adj *csrAdj
+	adj       *csrAdj
+	mode      KernelMode
+	sharedAdj bool // set on clones: Reset must detach, never mutate the shared CSR
 
-	hops  []int64 // hop-count scratch for DijkstraInto callers
+	hops  []int64 // hop-count scratch for DijkstraInto and delta verification
 	fval  []int64 // frontier value snapshot (start-of-hop distances)
 	front []int32 // current frontier
 	next  []int32 // next frontier
 	inNxt []bool  // membership mark for next (sparsely cleared)
 	heap  distHeap
+
+	// Dense-mode scratch: frontier bitsets and the start-of-hop value
+	// snapshot the pull relaxations read.
+	curBits frontierBits
+	nxtBits frontierBits
+	prev    []int64
+
+	// Delta-stepping scratch: the cyclic bucket array, the spare batch
+	// slice bucket draining swaps through, and the per-bucket settled
+	// set the heavy phase relaxes.
+	buckets   [][]int32
+	batch     []int32
+	settled   []int32
+	inSettled []bool
+
+	// hopModes records the engine each hop of the last bounded-hop or
+	// optimized-BFS call ran on, one entry per executed hop, and
+	// hopFronts the frontier size each of those hops started from: the
+	// mode-switch property tests replay the pure heuristics of
+	// kernelmode.go over hopFronts and assert the decisions happened
+	// only at hop boundaries and match the trace.
+	hopModes  []KernelMode
+	hopFronts []int32
 }
 
 // csrAdj is the flat adjacency shared by a workspace and its clones:
@@ -59,13 +106,17 @@ func NewDistWorkspace(g *Graph) *DistWorkspace {
 // place with the existing array capacity. It exists for pooled reuse
 // (internal/dist recycles skeleton build arenas through a sync.Pool):
 // a recycled workspace serves a different graph without re-allocating
-// its arrays. Clones taken before Reset observe the new adjacency —
-// callers must not Reset a workspace whose clones are still in use.
+// its arrays. On a Clone, Reset detaches onto a fresh CSR instead —
+// the shared adjacency may still be in use by the parent or sibling
+// clones and is never mutated through a clone. Resetting the original
+// workspace while its clones are in use remains the caller's bug
+// (clones would observe the new adjacency).
 func (ws *DistWorkspace) Reset(g *Graph) {
 	adj := ws.adj
-	if adj == nil {
+	if adj == nil || ws.sharedAdj {
 		adj = &csrAdj{}
 		ws.adj = adj
+		ws.sharedAdj = false
 	}
 	n := g.N()
 	total := 0
@@ -100,8 +151,19 @@ func (ws *DistWorkspace) Reset(g *Graph) {
 }
 
 // Clone returns a workspace sharing this one's read-only CSR adjacency
-// with private scratch, for use on another goroutine.
-func (ws *DistWorkspace) Clone() *DistWorkspace { return &DistWorkspace{adj: ws.adj} }
+// with private scratch, for use on another goroutine. The clone
+// inherits the kernel mode.
+func (ws *DistWorkspace) Clone() *DistWorkspace {
+	return &DistWorkspace{adj: ws.adj, mode: ws.mode, sharedAdj: true}
+}
+
+// SetKernelMode selects the relaxation engine for subsequent calls.
+// Every mode returns bit-identical results; clones taken after the
+// call inherit the mode.
+func (ws *DistWorkspace) SetKernelMode(m KernelMode) { ws.mode = m }
+
+// Kernel returns the workspace's kernel mode.
+func (ws *DistWorkspace) Kernel() KernelMode { return ws.mode }
 
 // N returns the node count of the underlying graph.
 func (ws *DistWorkspace) N() int { return ws.adj.n }
@@ -140,6 +202,16 @@ func growBool(s []bool, n int) []bool {
 	return s[:n]
 }
 
+// growInt32Cap returns an empty slice with capacity at least n, so
+// frontier transitions (bitset → worklist) can append n members without
+// allocating on a warm workspace.
+func growInt32Cap(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, 0, n)
+	}
+	return s[:0]
+}
+
 // BoundedHopDistInto writes the l-hop distances d^l_{G,w}(src, ·) into
 // dst (grown as needed) and returns it — the workspace counterpart of
 // Graph.BoundedHopDist, with frontier relaxation instead of full edge
@@ -148,21 +220,21 @@ func (ws *DistWorkspace) BoundedHopDistInto(dst []int64, src, l int) []int64 {
 	return ws.BoundedHopInto(dst, src, l, nil, 0, Inf)
 }
 
-// BoundedHopInto is the general bounded-hop kernel: level-synchronous
-// Bellman-Ford from src for at most l hops, where arc a has weight
-// ⌈arcNum[a]/2^shift⌉ (arcNum nil selects the graph's own weights with
-// shift 0), and any relaxation whose tentative distance would exceed
-// cap is discarded. It writes the resulting distances into dst (grown
-// as needed) and returns it; unreached nodes get Inf. The shifted-
-// ceiling weight form is exactly the per-scale rounding of the paper's
-// Algorithm 1 (⌈w·2Tℓ/2^i⌉), hoisted here so the inner loop is an add
-// and a shift instead of a 64-bit division.
+// BoundedHopInto is the general bounded-hop kernel: at most l hops of
+// relaxation from src, where arc a has weight ⌈arcNum[a]/2^shift⌉
+// (arcNum nil selects the graph's own weights with shift 0), and any
+// relaxation whose tentative distance would exceed cap is discarded.
+// It writes the resulting distances into dst (grown as needed) and
+// returns it; unreached nodes get Inf. The shifted-ceiling weight form
+// is exactly the per-scale rounding of the paper's Algorithm 1
+// (⌈w·2Tℓ/2^i⌉), hoisted here so the inner loop is an add and a shift
+// instead of a 64-bit division. Overlays must assign both directed
+// copies of an undirected edge the same numerator (ArcWeights-derived
+// overlays do): the dense engine pulls along the reverse arc.
 //
-// The hop-h frontier contains exactly the nodes whose distance improved
-// during hop h-1, and relaxations read the snapshotted end-of-hop
-// values, so the output is bit-identical to l full-edge-scan
-// Bellman-Ford rounds (see the file comment). The loop exits as soon as
-// a hop improves nothing.
+// The engine is selected by the workspace's KernelMode; every mode
+// computes bit-identical distances (see the file comment). The loop
+// exits as soon as a hop improves nothing.
 func (ws *DistWorkspace) BoundedHopInto(dst []int64, src, l int, arcNum []int64, shift uint, cap64 int64) []int64 {
 	adj := ws.adj
 	n := adj.n
@@ -174,47 +246,313 @@ func (ws *DistWorkspace) BoundedHopInto(dst []int64, src, l int, arcNum []int64,
 	} else if len(arcNum) != len(adj.to) {
 		panic("graph: BoundedHopInto arc weight overlay has wrong length")
 	}
-	round := int64(1)<<shift - 1
-
 	dst = growInt64(dst, n)
 	for i := range dst {
 		dst[i] = Inf
 	}
 	dst[src] = 0
-
-	ws.front = append(ws.front[:0], int32(src))
-	ws.next = ws.next[:0]
-	ws.inNxt = growBool(ws.inNxt, n)
-
-	for hop := 0; hop < l && len(ws.front) > 0; hop++ {
-		// Snapshot the frontier's start-of-hop values: relaxations during
-		// this hop must not read distances improved this hop (that would
-		// use l+1-hop paths).
-		ws.fval = growInt64(ws.fval, len(ws.front))
-		for i, u := range ws.front {
-			ws.fval[i] = dst[u]
+	ws.hopModes = ws.hopModes[:0]
+	ws.hopFronts = ws.hopFronts[:0]
+	if l <= 0 {
+		return dst
+	}
+	mode := ws.mode
+	if mode == KernelDelta {
+		if ws.deltaBounded(dst, src, l, arcNum, shift, cap64) {
+			return dst
 		}
-		for i, u := range ws.front {
-			du := ws.fval[i]
-			for a := adj.head[u]; a < adj.head[u+1]; a++ {
-				nd := du + (arcNum[a]+round)>>shift
-				v := adj.to[a]
-				if nd < dst[v] && nd <= cap64 {
-					dst[v] = nd
-					if !ws.inNxt[v] {
-						ws.inNxt[v] = true
-						ws.next = append(ws.next, v)
-					}
+		// The hop budget bound some vertex (or the overlay rounds to a
+		// non-positive weight): bucket order is not hop order, so rerun
+		// on the hop-synchronous engines for exact d^l semantics.
+		for i := range dst {
+			dst[i] = Inf
+		}
+		dst[src] = 0
+		mode = KernelAuto
+	}
+	ws.runHops(dst, src, l, arcNum, shift, cap64, mode)
+	return dst
+}
+
+// runHops is the hop-synchronous engine loop: l level-synchronous
+// relaxation rounds, each run entirely on the sparse worklist or
+// entirely on the dense bitset, with the auto crossover consulted only
+// between hops.
+func (ws *DistWorkspace) runHops(dst []int64, src, l int, arcNum []int64, shift uint, cap64 int64, mode KernelMode) {
+	n := ws.adj.n
+	round := int64(1)<<shift - 1
+	ws.front = growInt32Cap(ws.front, n)
+	ws.front = append(ws.front, int32(src))
+	ws.next = growInt32Cap(ws.next, n)
+	ws.inNxt = growBool(ws.inNxt, n)
+	dense := mode == KernelDense
+	if dense {
+		ws.curBits = growBits(ws.curBits, n)
+		ws.curBits.fillFrom(ws.front)
+		ws.nxtBits = growBits(ws.nxtBits, n)
+	}
+	frontN := 1
+	for hop := 0; hop < l && frontN > 0; hop++ {
+		ws.hopFronts = append(ws.hopFronts, int32(frontN))
+		if mode == KernelAuto {
+			if !dense && hopGoesDense(frontN, n) {
+				dense = true
+				ws.curBits = growBits(ws.curBits, n)
+				ws.curBits.fillFrom(ws.front)
+				ws.nxtBits = growBits(ws.nxtBits, n)
+			} else if dense && hopGoesSparse(frontN, n) {
+				dense = false
+				ws.front = ws.curBits.appendMembers(ws.front[:0])
+			}
+		}
+		if dense {
+			ws.hopModes = append(ws.hopModes, KernelDense)
+			frontN = ws.denseHop(dst, arcNum, round, shift, cap64)
+		} else {
+			ws.hopModes = append(ws.hopModes, KernelSparse)
+			frontN = ws.sparseHop(dst, arcNum, round, shift, cap64)
+		}
+	}
+	ws.front = ws.front[:0]
+}
+
+// sparseHop runs one worklist hop: snapshot the frontier's start-of-hop
+// values (relaxations during the hop must not read distances improved
+// this hop — that would use l+1-hop paths), push relaxations along
+// frontier arcs, and collect the improved nodes as the next frontier.
+// Returns the next frontier's size.
+func (ws *DistWorkspace) sparseHop(dst []int64, arcNum []int64, round int64, shift uint, cap64 int64) int {
+	adj := ws.adj
+	ws.fval = growInt64(ws.fval, len(ws.front))
+	for i, u := range ws.front {
+		ws.fval[i] = dst[u]
+	}
+	for i, u := range ws.front {
+		du := ws.fval[i]
+		for a := adj.head[u]; a < adj.head[u+1]; a++ {
+			nd := du + (arcNum[a]+round)>>shift
+			v := adj.to[a]
+			if nd < dst[v] && nd <= cap64 {
+				dst[v] = nd
+				if !ws.inNxt[v] {
+					ws.inNxt[v] = true
+					ws.next = append(ws.next, v)
 				}
 			}
 		}
-		for _, v := range ws.next {
-			ws.inNxt[v] = false
-		}
-		ws.front, ws.next = ws.next, ws.front[:0]
 	}
-	ws.front = ws.front[:0]
-	return dst
+	for _, v := range ws.next {
+		ws.inNxt[v] = false
+	}
+	ws.front, ws.next = ws.next, ws.front[:0]
+	return len(ws.front)
+}
+
+// denseHop runs one bitset hop: every vertex pulls relaxations from
+// frontier-marked neighbors against the prev snapshot. The relaxation
+// set equals the sparse push of the same frontier, so the resulting
+// distances — and the next frontier, collected as the improved bits —
+// are bit-identical. Returns the next frontier's population.
+func (ws *DistWorkspace) denseHop(dst []int64, arcNum []int64, round int64, shift uint, cap64 int64) int {
+	adj := ws.adj
+	n := adj.n
+	ws.prev = growInt64(ws.prev, n)
+	prev := ws.prev
+	copy(prev, dst)
+	nxt := ws.nxtBits
+	nxt.zero()
+	cur := ws.curBits
+	improved := 0
+	for v := 0; v < n; v++ {
+		dv := dst[v]
+		for a := adj.head[v]; a < adj.head[v+1]; a++ {
+			u := adj.to[a]
+			if !cur.test(u) {
+				continue
+			}
+			nd := prev[u] + (arcNum[a]+round)>>shift
+			if nd < dv && nd <= cap64 {
+				dv = nd
+			}
+		}
+		if dv < dst[v] {
+			dst[v] = dv
+			nxt.set(int32(v))
+			improved++
+		}
+	}
+	ws.curBits, ws.nxtBits = nxt, cur
+	return improved
+}
+
+// deltaBounded answers a bounded-hop call through the delta-stepping
+// engine and reports whether the result is valid for hop budget l. The
+// engine computes unbounded shortest distances plus the minimum hop
+// count among min-weight paths; when every reached vertex has such a
+// path within the budget (always true for l >= n-1: no simple path is
+// longer, and positive weights make non-simple paths never shorter),
+// the bounded-hop answer coincides and dst is final. Otherwise the
+// caller falls back.
+func (ws *DistWorkspace) deltaBounded(dst []int64, src, l int, arcNum []int64, shift uint, cap64 int64) bool {
+	n := ws.adj.n
+	ws.hops = growInt64(ws.hops, n)
+	if !ws.deltaRun(dst, ws.hops, src, arcNum, shift, cap64) {
+		return false
+	}
+	if l >= n-1 {
+		return true
+	}
+	for v := 0; v < n; v++ {
+		if dst[v] != Inf && ws.hops[v] > int64(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// deltaRun is the delta-stepping bucket engine (Meyer & Sanders): it
+// writes the shortest shifted-ceiling distances from src into dst and
+// the minimum hop count among min-weight paths into hops (Dijkstra's
+// hop tie-break), discarding any relaxation whose tentative distance
+// exceeds cap (sound under positive weights: prefixes of a path are
+// never longer than the path). The bucket width is derived from the
+// maximum rounded arc weight, Δ = ⌈(W+1)/4⌉-ish (W/4+1), so the cyclic
+// bucket array needs W/Δ+2 slots and a run touches at most
+// maxdist/Δ ≈ 4·maxdist/W bucket indices.
+//
+// Draining order: buckets are settled in increasing index order; within
+// a bucket, light arcs (weight < Δ) are re-relaxed until the bucket
+// reaches its fixpoint, then each settled node relaxes its heavy arcs
+// once at its final distance. Every improvement re-queues the improved
+// node, so each label is eventually relaxed at its final value and the
+// output is the order-independent lexicographic (distance, hops)
+// fixpoint — which is what keeps the numerators byte-identical to the
+// hop-synchronous engines regardless of batch order.
+//
+// Returns false without completing if any rounded arc weight is
+// non-positive (a degenerate overlay the bucket invariants cannot
+// carry); callers fall back to the hop-synchronous engines.
+func (ws *DistWorkspace) deltaRun(dst, hops []int64, src int, arcNum []int64, shift uint, cap64 int64) bool {
+	adj := ws.adj
+	n := adj.n
+	round := int64(1)<<shift - 1
+
+	// Hoist the extreme rounded weights: the graph's own weights have a
+	// precomputed max (and AddEdge guarantees positivity); overlays are
+	// scanned once, which is O(m) against the run's Ω(m) work.
+	maxw := int64(1)
+	if len(arcNum) > 0 {
+		if shift == 0 && &arcNum[0] == &adj.w[0] {
+			maxw = adj.maxW
+		} else {
+			minw := int64(1) << 62
+			maxw = 0
+			for _, num := range arcNum {
+				w := (num + round) >> shift
+				if w > maxw {
+					maxw = w
+				}
+				if w < minw {
+					minw = w
+				}
+			}
+			if minw < 1 {
+				return false
+			}
+		}
+	}
+	if maxw < 1 {
+		maxw = 1
+	}
+
+	for i := 0; i < n; i++ {
+		dst[i] = Inf
+		hops[i] = Inf
+	}
+	dst[src], hops[src] = 0, 0
+
+	delta := maxw/4 + 1
+	nb := int(maxw/delta) + 2
+	if cap(ws.buckets) < nb {
+		ws.buckets = make([][]int32, nb)
+	} else {
+		ws.buckets = ws.buckets[:nb]
+		for i := range ws.buckets {
+			ws.buckets[i] = ws.buckets[i][:0]
+		}
+	}
+	ws.settled = growInt32Cap(ws.settled, n)
+	ws.inSettled = growBool(ws.inSettled, n)
+
+	ws.buckets[0] = append(ws.buckets[0], int32(src))
+	pending := 1
+	// relax applies one (distance, hops)-lexicographic relaxation and
+	// re-queues on improvement. Queued distances never precede the
+	// bucket being settled, and span less than nb·Δ, so the cyclic
+	// array never aliases two live indices.
+	for b := int64(0); pending > 0; b++ {
+		slot := int(b % int64(nb))
+		if len(ws.buckets[slot]) == 0 {
+			continue
+		}
+		settled := ws.settled[:0]
+		for len(ws.buckets[slot]) > 0 {
+			batch := ws.buckets[slot]
+			ws.buckets[slot] = ws.batch[:0]
+			for _, u := range batch {
+				pending--
+				if dst[u]/delta != b {
+					continue // stale queue entry: u settled in an earlier bucket
+				}
+				if !ws.inSettled[u] {
+					ws.inSettled[u] = true
+					settled = append(settled, u)
+				}
+				du, hu := dst[u], hops[u]
+				for a := adj.head[u]; a < adj.head[u+1]; a++ {
+					w := (arcNum[a] + round) >> shift
+					if w >= delta {
+						continue // heavy: relaxed once the bucket settles
+					}
+					v := adj.to[a]
+					nd, nh := du+w, hu+1
+					if nd > cap64 {
+						continue
+					}
+					if nd < dst[v] || (nd == dst[v] && nh < hops[v]) {
+						dst[v], hops[v] = nd, nh
+						s2 := int((nd / delta) % int64(nb))
+						ws.buckets[s2] = append(ws.buckets[s2], v)
+						pending++
+					}
+				}
+			}
+			ws.batch = batch[:0]
+		}
+		for _, u := range settled {
+			ws.inSettled[u] = false
+			du, hu := dst[u], hops[u]
+			for a := adj.head[u]; a < adj.head[u+1]; a++ {
+				w := (arcNum[a] + round) >> shift
+				if w < delta {
+					continue
+				}
+				v := adj.to[a]
+				nd, nh := du+w, hu+1
+				if nd > cap64 {
+					continue
+				}
+				if nd < dst[v] || (nd == dst[v] && nh < hops[v]) {
+					dst[v], hops[v] = nd, nh
+					s2 := int((nd / delta) % int64(nb))
+					ws.buckets[s2] = append(ws.buckets[s2], v)
+					pending++
+				}
+			}
+		}
+		ws.settled = settled[:0]
+	}
+	return true
 }
 
 // DijkstraInto writes d_{G,w}(src, ·) into dst (grown as needed) and
@@ -229,7 +567,10 @@ func (ws *DistWorkspace) DijkstraInto(dst []int64, src int) []int64 {
 // DijkstraHopsInto is the workspace counterpart of Graph.DijkstraHops:
 // weighted distances plus exact hop counts of minimum-weight paths
 // (ties on weight broken by hops), with the heap and both output arrays
-// reused across calls.
+// reused across calls. Under KernelDelta the labels are computed by the
+// delta-stepping bucket engine instead of the binary heap — both settle
+// to the same lexicographic (distance, hops) fixpoint, so the outputs
+// are bit-identical.
 func (ws *DistWorkspace) DijkstraHopsInto(dst, hops []int64, src int) ([]int64, []int64) {
 	adj := ws.adj
 	n := adj.n
@@ -238,6 +579,9 @@ func (ws *DistWorkspace) DijkstraHopsInto(dst, hops []int64, src int) ([]int64, 
 	}
 	dst = growInt64(dst, n)
 	hops = growInt64(hops, n)
+	if ws.mode == KernelDelta && ws.deltaRun(dst, hops, src, adj.w, 0, Inf) {
+		return dst, hops
+	}
 	for i := 0; i < n; i++ {
 		dst[i] = Inf
 		hops[i] = Inf
@@ -306,6 +650,13 @@ func (ws *DistWorkspace) heapPop() distItem {
 
 // BFSInto writes unweighted hop counts from src into dst (grown as
 // needed) and returns it — the workspace counterpart of Graph.BFS.
+// Under the auto and dense modes it runs the direction-optimizing
+// (Beamer) variant: top-down levels flip to bottom-up pulls — which
+// break at the first parented neighbor — when the frontier's arc
+// volume dominates the unexplored arc volume, and back when the
+// frontier thins. Levels are canonical (a vertex's level is its hop
+// distance, whatever order discovers it), so every mode returns
+// bit-identical arrays.
 func (ws *DistWorkspace) BFSInto(dst []int64, src int) []int64 {
 	adj := ws.adj
 	n := adj.n
@@ -317,6 +668,20 @@ func (ws *DistWorkspace) BFSInto(dst []int64, src int) []int64 {
 		dst[i] = Inf
 	}
 	dst[src] = 0
+	ws.hopModes = ws.hopModes[:0]
+	if ws.mode == KernelSparse || ws.mode == KernelDelta {
+		// Delta-stepping over unit weights is exactly top-down BFS; the
+		// sparse mode is the verbatim PR 3 queue.
+		ws.bfsTopDown(dst, src)
+		return dst
+	}
+	ws.bfsOptimized(dst, src, ws.mode)
+	return dst
+}
+
+// bfsTopDown is the single-queue top-down BFS.
+func (ws *DistWorkspace) bfsTopDown(dst []int64, src int) {
+	adj := ws.adj
 	queue := append(ws.front[:0], int32(src))
 	for qi := 0; qi < len(queue); qi++ {
 		u := queue[qi]
@@ -329,5 +694,94 @@ func (ws *DistWorkspace) BFSInto(dst []int64, src int) []int64 {
 		}
 	}
 	ws.front = queue[:0]
-	return dst
+}
+
+// bfsOptimized is the level-synchronous direction-optimizing BFS. The
+// crossover is consulted only at level boundaries, on the pure
+// heuristics of kernelmode.go.
+func (ws *DistWorkspace) bfsOptimized(dst []int64, src int, mode KernelMode) {
+	adj := ws.adj
+	n := adj.n
+	ws.front = growInt32Cap(ws.front, n)
+	ws.front = append(ws.front, int32(src))
+	ws.next = growInt32Cap(ws.next, n)
+	deg := func(v int32) int { return int(adj.head[v+1] - adj.head[v]) }
+	frontN, frontArcs := 1, deg(int32(src))
+	unexplored := len(adj.to) - frontArcs
+	bottomUp := mode == KernelDense
+	if bottomUp {
+		ws.curBits = growBits(ws.curBits, n)
+		ws.curBits.fillFrom(ws.front)
+		ws.nxtBits = growBits(ws.nxtBits, n)
+	}
+	for level := int64(0); frontN > 0; level++ {
+		if mode == KernelAuto {
+			if !bottomUp && bfsGoesBottomUp(frontArcs, unexplored) {
+				bottomUp = true
+				ws.curBits = growBits(ws.curBits, n)
+				ws.curBits.fillFrom(ws.front)
+				ws.nxtBits = growBits(ws.nxtBits, n)
+			} else if bottomUp && bfsGoesTopDown(frontN, n) {
+				bottomUp = false
+				ws.front = ws.curBits.appendMembers(ws.front[:0])
+			}
+		}
+		if bottomUp {
+			ws.hopModes = append(ws.hopModes, KernelDense)
+			frontN, frontArcs = ws.bfsBottomUpLevel(dst, level)
+		} else {
+			ws.hopModes = append(ws.hopModes, KernelSparse)
+			frontN, frontArcs = ws.bfsTopDownLevel(dst, level)
+		}
+		unexplored -= frontArcs
+	}
+	ws.front = ws.front[:0]
+}
+
+// bfsTopDownLevel expands one level through the worklist, returning the
+// next frontier's size and incident arc volume.
+func (ws *DistWorkspace) bfsTopDownLevel(dst []int64, level int64) (int, int) {
+	adj := ws.adj
+	next := ws.next[:0]
+	arcs := 0
+	for _, u := range ws.front {
+		for a := adj.head[u]; a < adj.head[u+1]; a++ {
+			v := adj.to[a]
+			if dst[v] == Inf {
+				dst[v] = level + 1
+				next = append(next, v)
+				arcs += int(adj.head[v+1] - adj.head[v])
+			}
+		}
+	}
+	ws.front, ws.next = next, ws.front[:0]
+	return len(next), arcs
+}
+
+// bfsBottomUpLevel expands one level by pulling: every unvisited vertex
+// scans its arcs until it finds a frontier-marked neighbor (the early
+// break is the direction-optimizing win on high-degree graphs).
+func (ws *DistWorkspace) bfsBottomUpLevel(dst []int64, level int64) (int, int) {
+	adj := ws.adj
+	n := adj.n
+	nxt := ws.nxtBits
+	nxt.zero()
+	cur := ws.curBits
+	found, arcs := 0, 0
+	for v := 0; v < n; v++ {
+		if dst[v] != Inf {
+			continue
+		}
+		for a := adj.head[v]; a < adj.head[v+1]; a++ {
+			if cur.test(adj.to[a]) {
+				dst[v] = level + 1
+				nxt.set(int32(v))
+				found++
+				arcs += int(adj.head[v+1] - adj.head[v])
+				break
+			}
+		}
+	}
+	ws.curBits, ws.nxtBits = nxt, cur
+	return found, arcs
 }

@@ -1,0 +1,117 @@
+package graph
+
+// KernelMode selects the relaxation engine a DistWorkspace runs its
+// distance computations on. Every mode computes bit-identical results
+// — the mode is an execution knob, never a semantic one — which is what
+// lets the repo's determinism contract (same digest + params ⇒
+// byte-identical numerators) extend over all of them. The differential
+// suite and FuzzKernelEquivalence pin the equivalence on every mode.
+
+import "fmt"
+
+// KernelMode selects the DistWorkspace relaxation engine.
+type KernelMode uint8
+
+// Kernel modes. The zero value (KernelAuto) switches between the
+// sparse worklist and the dense bitset scan per hop with the hysteresis
+// heuristic below; the explicit modes force one engine.
+const (
+	// KernelAuto switches sparse↔dense at hop boundaries based on the
+	// frontier occupancy (weighted hops) or frontier edge volume
+	// (unweighted BFS), and is the default everywhere.
+	KernelAuto KernelMode = iota
+	// KernelSparse forces the PR 3 level-synchronous worklist kernel:
+	// hop h relaxes only the nodes improved during hop h-1.
+	KernelSparse
+	// KernelDense forces the bitset frontier: every hop scans all
+	// vertices, pulling relaxations from marked neighbors.
+	KernelDense
+	// KernelDelta runs weighted passes through the delta-stepping
+	// bucket engine (Meyer & Sanders); bounded-hop calls verify the hop
+	// budget never bound and fall back to the hop-synchronous engine
+	// when it did, so results stay bit-identical.
+	KernelDelta
+)
+
+// KernelModes returns every mode, for differential suites that sweep
+// all engines.
+func KernelModes() []KernelMode {
+	return []KernelMode{KernelAuto, KernelSparse, KernelDense, KernelDelta}
+}
+
+// String returns the flag spelling of the mode.
+func (m KernelMode) String() string {
+	switch m {
+	case KernelAuto:
+		return "auto"
+	case KernelSparse:
+		return "sparse"
+	case KernelDense:
+		return "dense"
+	case KernelDelta:
+		return "delta"
+	}
+	return fmt.Sprintf("KernelMode(%d)", uint8(m))
+}
+
+// ParseKernelMode parses a -distkernel flag or wire value. The empty
+// string selects KernelAuto.
+func ParseKernelMode(s string) (KernelMode, error) {
+	switch s {
+	case "", "auto":
+		return KernelAuto, nil
+	case "sparse":
+		return KernelSparse, nil
+	case "dense":
+		return KernelDense, nil
+	case "delta":
+		return KernelDelta, nil
+	}
+	return KernelAuto, fmt.Errorf("graph: unknown kernel mode %q (want auto, sparse, dense, or delta)", s)
+}
+
+// Auto-mode crossover heuristics. All four are pure monotone functions
+// of the frontier measure, consulted only at hop boundaries (a hop runs
+// one engine start to finish), and the up/down thresholds are separated
+// so the mode cannot oscillate on a frontier sitting at the crossover:
+// hopGoesDense and hopGoesSparse are never true for the same size.
+//
+// Weighted hops switch on frontier occupancy, and the bar is high: a
+// dense weighted hop costs one full CSR scan (O(n + m)) no matter how
+// full the frontier is, and — unlike bottom-up BFS — a weighted pull
+// cannot break at the first parented neighbor, so it only competes with
+// the push worklist when the frontier covers most of the graph and the
+// push's per-arc dedup/bookkeeping is the marginal cost. Unweighted BFS
+// switches on Beamer's edge-volume test: bottom-up pulls do break at
+// the first parented neighbor, so that flip engages far earlier
+// (frontier arcs exceeding a fraction of the arcs still unexplored)
+// and disengages when the frontier thins below a small occupancy.
+const (
+	denseUpMul    = 16 // go dense when f·16 ≥ n·15, i.e. frontier ≥ 15/16·n
+	denseUpFrac   = 15
+	denseDownMul  = 4 // return sparse when f·4 < n·3, i.e. frontier < 3/4·n
+	denseDownFrac = 3
+	bfsUpArcDiv   = 14 // bottom-up when frontier arcs > unexplored arcs / 14
+	bfsDownDiv    = 24 // top-down when frontier < n/24
+)
+
+// hopGoesDense reports whether a weighted hop over a frontier of f
+// nodes should run the dense bitset engine. Monotone in f.
+func hopGoesDense(f, n int) bool { return f*denseUpMul >= n*denseUpFrac }
+
+// hopGoesSparse reports whether a dense weighted hop should flip back
+// to the sparse worklist. Antitone in f, and disjoint from hopGoesDense
+// for every n.
+func hopGoesSparse(f, n int) bool { return f*denseDownMul < n*denseDownFrac }
+
+// bfsGoesBottomUp reports whether a BFS level with frontierArcs
+// incident arcs should pull bottom-up, given the arc volume still
+// incident to unvisited vertices. Monotone in frontierArcs, antitone in
+// unexploredArcs.
+func bfsGoesBottomUp(frontierArcs, unexploredArcs int) bool {
+	return frontierArcs*bfsUpArcDiv > unexploredArcs
+}
+
+// bfsGoesTopDown reports whether a bottom-up BFS should return to
+// top-down once the frontier holds f of n vertices. Antitone in f.
+func bfsGoesTopDown(f, n int) bool { return f*bfsDownDiv < n }

@@ -1,0 +1,445 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// disjointUnion concatenates the parts into one graph with no edges
+// between them: the adversarial disconnected shape of the differential
+// corpus (every engine must agree on which vertices stay Inf).
+func disjointUnion(parts ...*Graph) *Graph {
+	n := 0
+	for _, p := range parts {
+		n += p.N()
+	}
+	g := New(n)
+	off := 0
+	for _, p := range parts {
+		for _, e := range p.Edges() {
+			g.MustAddEdge(e.U+off, e.V+off, e.W)
+		}
+		off += p.N()
+	}
+	return g
+}
+
+// adversarialGraphs are the shapes the kernel modes disagree on first
+// if anything is wrong: stars (the frontier jumps from 1 to n-1 in one
+// hop, forcing an immediate sparse→dense flip), long paths (the
+// frontier never grows, so dense must never engage under auto),
+// high-degree spine-leaf fabrics (the Beamer bottom-up regime), and
+// disconnected unions (unreached components must stay Inf in every
+// engine). Sizes straddle the 64-bit word boundary of the bitset.
+func adversarialGraphs() []*Graph {
+	rng := rand.New(rand.NewSource(67))
+	return []*Graph{
+		Star(65),
+		RandomWeights(Star(64), 9, rng),
+		Path(130),
+		RandomWeights(Path(63), 5, rng),
+		RandomWeights(SpineLeaf(4, 8, 8, 2, 1), 11, rng),
+		disjointUnion(Star(17), Path(9), RandomWeights(RandomConnected(20, 50, rng), 7, rng)),
+		disjointUnion(New(3), Cycle(5)),
+		New(1),
+	}
+}
+
+// refCappedMul is the golden reference for BoundedHopInto with the
+// overlay num[a] = w(a)·mul: Bellman-Ford on weights ⌈w·mul/2^shift⌉
+// (computed by Reweight, a pure function of the edge weight),
+// post-filtered at the cap (exact: rounded weights are positive, see
+// refCappedScaled's comment).
+func refCappedMul(g *Graph, src, l int, mul int64, shift uint, cap64 int64) []int64 {
+	scaled := g.Reweight(func(w int64) int64 {
+		return (w*mul + int64(1)<<shift - 1) >> shift
+	})
+	ref := scaled.BoundedHopDist(src, l)
+	for v, dv := range ref {
+		if dv != Inf && dv > cap64 {
+			ref[v] = Inf
+		}
+	}
+	return ref
+}
+
+// TestKernelModesBoundedHopDifferential is the graph-layer differential
+// suite: every kernel mode against the sparse (PR 3) engine and against
+// the golden full-edge-scan reference, over the kernel corpus plus the
+// adversarial shapes, sweeping hop budgets, rounding shifts, and prune
+// caps. Distances must be bit-identical in every cell, and the
+// hop-synchronous modes must execute the same number of hops.
+func TestKernelModesBoundedHopDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	graphs := append(kernelCases(), adversarialGraphs()...)
+	for gi, g := range graphs {
+		n := g.N()
+		ws := NewDistWorkspace(g)
+		const mul = int64(48) // a 2Tℓ-style common multiplier
+		num := ws.ArcWeights(nil)
+		for a := range num {
+			num[a] *= mul
+		}
+		var sparse, got []int64
+		srcs := []int{0, n / 2, n - 1}
+		if n > 3 {
+			srcs = append(srcs, rng.Intn(n))
+		}
+		for _, src := range srcs {
+			for _, l := range []int{1, 2, n/2 + 1, n, 2 * n} {
+				for _, shift := range []uint{0, 2, 5} {
+					for _, cap64 := range []int64{Inf, 40 * mul, 3 * mul} {
+						ws.SetKernelMode(KernelSparse)
+						sparse = ws.BoundedHopInto(sparse, src, l, num, shift, cap64)
+						hops := len(ws.hopModes)
+						if want := refCappedMul(g, src, l, mul, shift, cap64); !reflect.DeepEqual(sparse, want) {
+							t.Fatalf("graph %d src=%d l=%d shift=%d cap=%d: sparse diverged from golden reference",
+								gi, src, l, shift, cap64)
+						}
+						for _, m := range []KernelMode{KernelAuto, KernelDense, KernelDelta} {
+							ws.SetKernelMode(m)
+							got = ws.BoundedHopInto(got, src, l, num, shift, cap64)
+							if !reflect.DeepEqual(got, sparse) {
+								t.Fatalf("graph %d src=%d l=%d shift=%d cap=%d: mode %v diverged from sparse",
+									gi, src, l, shift, cap64, m)
+							}
+							if m != KernelDelta && len(ws.hopModes) != hops {
+								t.Fatalf("graph %d src=%d l=%d: mode %v executed %d hops, sparse %d",
+									gi, src, l, m, len(ws.hopModes), hops)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelModesBFSDifferential pins every mode's BFSInto against the
+// reference Graph.BFS (levels are canonical, so direction optimization
+// must be invisible in the output).
+func TestKernelModesBFSDifferential(t *testing.T) {
+	for gi, g := range append(kernelCases(), adversarialGraphs()...) {
+		ws := NewDistWorkspace(g)
+		var got []int64
+		for src := 0; src < g.N(); src += 1 + g.N()/7 {
+			want := g.BFS(src)
+			for _, m := range KernelModes() {
+				ws.SetKernelMode(m)
+				got = ws.BFSInto(got, src)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("graph %d src=%d: BFS mode %v diverged from reference", gi, src, m)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelModesDijkstraDifferential pins the delta-stepping engine's
+// (distance, hops) labels against the heap engine and the reference
+// Graph.DijkstraHops — both settle the same lexicographic fixpoint.
+func TestKernelModesDijkstraDifferential(t *testing.T) {
+	for gi, g := range append(kernelCases(), adversarialGraphs()...) {
+		ws := NewDistWorkspace(g)
+		var d, h []int64
+		for src := 0; src < g.N(); src += 1 + g.N()/7 {
+			wantD, wantH := g.DijkstraHops(src)
+			for _, m := range KernelModes() {
+				ws.SetKernelMode(m)
+				d, h = ws.DijkstraHopsInto(d, h, src)
+				if !reflect.DeepEqual(d, wantD) || !reflect.DeepEqual(h, wantH) {
+					t.Fatalf("graph %d src=%d: Dijkstra mode %v diverged from reference", gi, src, m)
+				}
+			}
+		}
+	}
+}
+
+// TestSwitchHeuristicsMonotoneAndDisjoint is the property suite of the
+// pure crossover functions: each is monotone (or antitone) in its
+// frontier measure, and the weighted up/down pair is disjoint for every
+// n — the hysteresis band that prevents oscillation on a frontier
+// sitting at the crossover.
+func TestSwitchHeuristicsMonotoneAndDisjoint(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 31, 64, 65, 1000} {
+		prevDense, prevSparse, prevTD := false, true, true
+		for f := 0; f <= n; f++ {
+			d, s, td := hopGoesDense(f, n), hopGoesSparse(f, n), bfsGoesTopDown(f, n)
+			if prevDense && !d {
+				t.Fatalf("n=%d: hopGoesDense not monotone at f=%d", n, f)
+			}
+			if !prevSparse && s {
+				t.Fatalf("n=%d: hopGoesSparse not antitone at f=%d", n, f)
+			}
+			if !prevTD && td {
+				t.Fatalf("n=%d: bfsGoesTopDown not antitone at f=%d", n, f)
+			}
+			if d && s {
+				t.Fatalf("n=%d f=%d: hopGoesDense and hopGoesSparse overlap — the hysteresis band is gone", n, f)
+			}
+			prevDense, prevSparse, prevTD = d, s, td
+		}
+		if !hopGoesDense(n, n) {
+			t.Fatalf("n=%d: a full frontier must go dense", n)
+		}
+		if n > 1 && hopGoesSparse(n, n) {
+			t.Fatalf("n=%d: a full frontier must not flip back to sparse", n)
+		}
+	}
+	for _, unexplored := range []int{0, 10, 997, 100000} {
+		prev := false
+		for fa := 0; fa <= 2*unexplored+30; fa += 1 + unexplored/50 {
+			b := bfsGoesBottomUp(fa, unexplored)
+			if prev && !b {
+				t.Fatalf("unexplored=%d: bfsGoesBottomUp not monotone at frontierArcs=%d", unexplored, fa)
+			}
+			prev = b
+		}
+	}
+	for _, fa := range []int{1, 10, 500} {
+		prev := true
+		for u := 0; u <= 30*fa; u += 1 + fa/10 {
+			b := bfsGoesBottomUp(fa, u)
+			if !prev && b {
+				t.Fatalf("frontierArcs=%d: bfsGoesBottomUp not antitone at unexplored=%d", fa, u)
+			}
+			prev = b
+		}
+	}
+}
+
+// TestAutoModeTraceMatchesHeuristic replays the hysteresis state
+// machine over the frontier sizes of a sparse run (frontiers are
+// bit-identical across modes) and asserts the auto run's per-hop engine
+// trace matches exactly — switching happens only at hop boundaries, and
+// only when the pure heuristics say so.
+func TestAutoModeTraceMatchesHeuristic(t *testing.T) {
+	for gi, g := range append(kernelCases(), adversarialGraphs()...) {
+		n := g.N()
+		ws := NewDistWorkspace(g)
+		var buf []int64
+		for src := 0; src < n; src += 1 + n/5 {
+			for _, l := range []int{2, n/2 + 1, 2 * n} {
+				ws.SetKernelMode(KernelSparse)
+				buf = ws.BoundedHopDistInto(buf, src, l)
+				fronts := append([]int32(nil), ws.hopFronts...)
+
+				ws.SetKernelMode(KernelAuto)
+				buf = ws.BoundedHopDistInto(buf, src, l)
+				if !reflect.DeepEqual(ws.hopFronts, fronts) {
+					t.Fatalf("graph %d src=%d l=%d: auto frontier sizes diverged from sparse", gi, src, l)
+				}
+				if len(ws.hopModes) != len(fronts) {
+					t.Fatalf("graph %d src=%d l=%d: %d hop modes for %d hops", gi, src, l, len(ws.hopModes), len(fronts))
+				}
+				dense := false
+				for hop, f := range fronts {
+					if !dense && hopGoesDense(int(f), n) {
+						dense = true
+					} else if dense && hopGoesSparse(int(f), n) {
+						dense = false
+					}
+					want := KernelSparse
+					if dense {
+						want = KernelDense
+					}
+					if ws.hopModes[hop] != want {
+						t.Fatalf("graph %d src=%d l=%d hop %d (frontier %d): ran %v, heuristic says %v",
+							gi, src, l, hop, f, ws.hopModes[hop], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCloneResetCannotCorruptSharedCSR is the Clone/Reset regression
+// test: Reset on a clone must detach onto a fresh CSR — the shared
+// adjacency may still be serving the parent and sibling clones — and
+// both workspaces must keep answering correctly afterwards.
+func TestCloneResetCannotCorruptSharedCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	g1 := RandomWeights(RandomConnected(30, 80, rng), 9, rng)
+	g2 := RandomWeights(Star(12), 5, rng)
+
+	ws := NewDistWorkspace(g1)
+	want1 := append([]int64(nil), ws.DijkstraInto(nil, 0)...)
+
+	cl := ws.Clone()
+	cl.Reset(g2)
+	if cl.adj == ws.adj {
+		t.Fatal("Reset on a clone mutated the shared CSR in place")
+	}
+	want2 := g2.Dijkstra(0)
+	if got := cl.DijkstraInto(nil, 0); !reflect.DeepEqual(got, want2) {
+		t.Fatal("reset clone answers wrong distances for its new graph")
+	}
+	if got := ws.DijkstraInto(nil, 0); !reflect.DeepEqual(got, want1) {
+		t.Fatal("parent workspace corrupted by a clone's Reset")
+	}
+	// A detached clone is a full owner: a second Reset may rebuild in
+	// place again, and further Clones chain off the new CSR.
+	cl.Reset(g1)
+	if got := cl.DijkstraInto(nil, 0); !reflect.DeepEqual(got, want1) {
+		t.Fatal("re-reset clone answers wrong distances")
+	}
+}
+
+// TestClonesRaceCleanly runs several clones concurrently on overlapping
+// sources under every kernel mode and checks each result against a
+// sequential pass. Run under -race in CI: the clones must share only
+// the read-only CSR.
+func TestClonesRaceCleanly(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	g := RandomWeights(SpineLeaf(3, 6, 5, 2, 1), 9, rng)
+	n := g.N()
+	ws := NewDistWorkspace(g)
+	l := n / 2
+
+	for _, m := range KernelModes() {
+		ws.SetKernelMode(m)
+		want := make([][]int64, n)
+		ref := ws.Clone()
+		for src := 0; src < n; src++ {
+			want[src] = append([]int64(nil), ref.BoundedHopDistInto(nil, src, l)...)
+		}
+		workers := runtime.GOMAXPROCS(0)
+		if workers < 2 {
+			workers = 2
+		}
+		var wg sync.WaitGroup
+		errs := make([]string, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				cl := ws.Clone()
+				var buf []int64
+				// Overlapping stride: every worker touches every source.
+				for src := 0; src < n; src++ {
+					s := (src + w*3) % n
+					buf = cl.BoundedHopDistInto(buf, s, l)
+					if !reflect.DeepEqual(buf, want[s]) {
+						errs[w] = "clone diverged from sequential pass"
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for w, e := range errs {
+			if e != "" {
+				t.Fatalf("mode %v worker %d: %s", m, w, e)
+			}
+		}
+	}
+}
+
+// TestKernelModeAllocGuard: the dense engine's bitset arenas (and every
+// other mode's scratch) must come from the workspace pool — a warm
+// workspace computes with zero allocations. This is the CI allocation
+// guard for the dense-mode steady state.
+func TestKernelModeAllocGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	g := RandomWeights(RandomConnected(200, 800, rng), 9, rng)
+	for _, m := range KernelModes() {
+		ws := NewDistWorkspace(g)
+		ws.SetKernelMode(m)
+		var dst []int64
+		// Warm every engine path this mode can take (delta may fall back
+		// to the hop-synchronous engines when the budget binds).
+		for src := 0; src < 3; src++ {
+			dst = ws.BoundedHopDistInto(dst, src, 32)
+			dst = ws.BFSInto(dst, src)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			dst = ws.BoundedHopDistInto(dst, 5, 32)
+			dst = ws.BFSInto(dst, 6)
+		})
+		if allocs != 0 {
+			t.Fatalf("mode %v: warm workspace allocates %.0f objects per call, want 0", m, allocs)
+		}
+	}
+}
+
+func TestParseKernelMode(t *testing.T) {
+	for _, m := range KernelModes() {
+		got, err := ParseKernelMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("round-trip of %v: got %v, err %v", m, got, err)
+		}
+	}
+	if m, err := ParseKernelMode(""); err != nil || m != KernelAuto {
+		t.Fatalf("empty string: got %v, err %v", m, err)
+	}
+	if _, err := ParseKernelMode("quantum"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+// FuzzKernelEquivalence fuzzes random graphs, sources, and scale
+// parameters across every kernel mode: distance vectors must be
+// bit-identical, hop-synchronous modes must execute identical hop
+// counts, and BFS levels must agree — all against the golden
+// full-edge-scan reference. The corpus is seeded with the adversarial
+// shapes (star, long path, spine-leaf, disconnected union).
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(40), uint8(3), uint8(10), uint8(0), uint8(0)) // random connected
+	f.Add(int64(2), uint8(1), uint8(64), uint8(8), uint8(2), uint8(1), uint8(1))  // star, word boundary
+	f.Add(int64(3), uint8(2), uint8(90), uint8(1), uint8(80), uint8(0), uint8(2)) // long path
+	f.Add(int64(4), uint8(3), uint8(70), uint8(12), uint8(6), uint8(3), uint8(0)) // spine-leaf
+	f.Add(int64(5), uint8(4), uint8(50), uint8(5), uint8(4), uint8(2), uint8(1))  // disconnected union
+	f.Add(int64(6), uint8(5), uint8(33), uint8(7), uint8(9), uint8(5), uint8(2))  // grid
+	f.Fuzz(func(t *testing.T, seed int64, shape, nRaw, wRaw, lRaw, shiftRaw, capRaw uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%96
+		maxw := 1 + int64(wRaw)%24
+		var g *Graph
+		switch shape % 6 {
+		case 0:
+			g = RandomWeights(RandomConnected(n, 3*n, rng), maxw, rng)
+		case 1:
+			g = RandomWeights(Star(n), maxw, rng)
+		case 2:
+			g = Path(n)
+		case 3:
+			g = RandomWeights(SpineLeaf(2+n/24, 3+n/16, 4, 2, 1), maxw, rng)
+		case 4:
+			g = disjointUnion(Star(2+n/2), RandomWeights(Path(2+n/3), maxw, rng))
+		default:
+			g = RandomWeights(Grid(2+n/16, 3), maxw, rng)
+		}
+		n = g.N()
+		src := rng.Intn(n)
+		l := 1 + int(lRaw)%(n+3)
+		shift := uint(shiftRaw) % 6
+		cap64 := Inf
+		if capRaw%3 == 1 {
+			cap64 = 1 + rng.Int63n(int64(n)*maxw+1)
+		}
+
+		ws := NewDistWorkspace(g)
+		ws.SetKernelMode(KernelSparse)
+		sparse := ws.BoundedHopInto(nil, src, l, nil, shift, cap64)
+		hops := len(ws.hopModes)
+		bfsRef := ws.BFSInto(nil, src)
+		if want := refCappedMul(g, src, l, 1, shift, cap64); !reflect.DeepEqual(sparse, want) {
+			t.Fatalf("sparse diverged from golden reference (n=%d src=%d l=%d shift=%d cap=%d)", n, src, l, shift, cap64)
+		}
+		for _, m := range []KernelMode{KernelAuto, KernelDense, KernelDelta} {
+			ws.SetKernelMode(m)
+			if got := ws.BoundedHopInto(nil, src, l, nil, shift, cap64); !reflect.DeepEqual(got, sparse) {
+				t.Fatalf("mode %v distances diverged (n=%d src=%d l=%d shift=%d cap=%d)", m, n, src, l, shift, cap64)
+			}
+			if m != KernelDelta && len(ws.hopModes) != hops {
+				t.Fatalf("mode %v executed %d hops, sparse %d", m, len(ws.hopModes), hops)
+			}
+			if got := ws.BFSInto(nil, src); !reflect.DeepEqual(got, bfsRef) {
+				t.Fatalf("mode %v BFS diverged (n=%d src=%d)", m, n, src)
+			}
+		}
+	})
+}

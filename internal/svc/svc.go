@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qcongest/internal/graph"
 	"qcongest/internal/server"
 	"qcongest/internal/store"
 )
@@ -59,6 +60,11 @@ type Config struct {
 	// dist.BuildSkeletonWith (0 uses dist.DefaultSkeletonWorkers).
 	// Numerators are byte-identical for every value.
 	SketchWorkers int
+	// SketchKernel is the default relaxation engine for sketch builds
+	// whose request does not pin one (graph.KernelAuto, the zero value,
+	// is the heuristic crossover). Numerators are byte-identical for
+	// every mode.
+	SketchKernel graph.KernelMode
 	// BuildSlots bounds concurrently executing cold work: sketch
 	// builds, batch sweeps, first-touch exact-metric computations, and
 	// upload parsing/generation (default 2).
