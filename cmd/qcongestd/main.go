@@ -18,6 +18,15 @@
 // The daemon drains gracefully on SIGINT/SIGTERM: /healthz flips to
 // 503 "draining", in-flight requests finish (up to -draintimeout), the
 // store is snapshotted and closed, and the process exits 0.
+//
+// Observability (DESIGN.md §8.5): /metrics serves both a JSON snapshot
+// and the Prometheus exposition format (content-negotiated), /status
+// is a self-refreshing operator page, every response carries an
+// X-Request-Id, -access-log emits one structured JSON line per
+// request, and -pprof exposes net/http/pprof on a separate listener so
+// profiling never shares a port with the public API. -ratelimit and
+// -tenantgraphs enforce per-API-key token buckets and graph quotas
+// (X-API-Key header; absent keys share the "anonymous" bucket).
 package main
 
 import (
@@ -25,8 +34,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +46,31 @@ import (
 	"qcongest/internal/graph"
 	"qcongest/internal/svc"
 )
+
+// openAccessLog maps the -access-log flag to a writer: "" disables,
+// "-" is stdout, anything else appends to that file.
+func openAccessLog(path string) (io.Writer, error) {
+	switch path {
+	case "":
+		return nil, nil
+	case "-":
+		return os.Stdout, nil
+	}
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// pprofMux builds the profiling handler by hand so only the pprof
+// routes exist on that listener — nothing registers on
+// http.DefaultServeMux, and the public API handler stays pprof-free.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	var (
@@ -53,27 +89,41 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "durable store directory (empty = in-memory registry)")
 		warm         = flag.Int("warm", 8, "graphs to pre-warm after a persistent boot (0 disables)")
 		snapEvery    = flag.Int("snapevery", 0, "graph appends between store snapshots (0 = 64, negative disables)")
+		pprofAddr    = flag.String("pprof", "", "net/http/pprof listen address on a separate listener, e.g. 127.0.0.1:6060 (empty disables)")
+		ratePerKey   = flag.Float64("ratelimit", 0, "sustained requests/sec per API key on /v1 endpoints; overflow answers 429 (0 disables)")
+		rateBurst    = flag.Int("rateburst", 0, "token-bucket burst depth per API key (0 = 2x -ratelimit, min 1)")
+		tenantGraphs = flag.Int("tenantgraphs", 0, "graphs one API key may create; beyond it uploads answer 429 (0 disables)")
+		accessLog    = flag.String("access-log", "", "structured JSON request log destination: a file path, or - for stdout (empty disables)")
 	)
 	flag.Parse()
+
+	logDst, err := openAccessLog(*accessLog)
+	if err != nil {
+		log.Fatalf("qcongestd: opening access log: %v", err)
+	}
 
 	kernel, err := graph.ParseKernelMode(*distKernel)
 	if err != nil {
 		log.Fatalf("qcongestd: %v", err)
 	}
 	s, err := svc.Open(svc.Config{
-		CacheCapacity: *cache,
-		SketchWorkers: *distWorkers,
-		SketchKernel:  kernel,
-		BuildSlots:    *buildSlots,
-		BuildQueue:    *buildQueue,
-		QuerySlots:    *querySlots,
-		MaxGraphs:     *maxGraphs,
-		MaxNodes:      *maxNodes,
-		MaxBatch:      *maxBatch,
-		MaxBatchNodes: *maxBatchN,
-		DataDir:       *dataDir,
-		WarmStart:     *warm,
-		SnapshotEvery: *snapEvery,
+		CacheCapacity:   *cache,
+		SketchWorkers:   *distWorkers,
+		SketchKernel:    kernel,
+		BuildSlots:      *buildSlots,
+		BuildQueue:      *buildQueue,
+		QuerySlots:      *querySlots,
+		MaxGraphs:       *maxGraphs,
+		MaxNodes:        *maxNodes,
+		MaxBatch:        *maxBatch,
+		MaxBatchNodes:   *maxBatchN,
+		DataDir:         *dataDir,
+		WarmStart:       *warm,
+		SnapshotEvery:   *snapEvery,
+		RatePerKey:      *ratePerKey,
+		RateBurst:       *rateBurst,
+		TenantMaxGraphs: *tenantGraphs,
+		AccessLog:       logDst,
 	})
 	if err != nil {
 		log.Fatalf("qcongestd: opening store: %v", err)
@@ -89,6 +139,21 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpServer.ListenAndServe() }()
+
+	var pprofServer *http.Server
+	if *pprofAddr != "" {
+		pprofServer = &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           pprofMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := pprofServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("qcongestd: pprof listener failed: %v", err)
+			}
+		}()
+		log.Printf("qcongestd: pprof on http://%s/debug/pprof/", *pprofAddr)
+	}
 	if *dataDir != "" {
 		rec := s.Recovery()
 		log.Printf("qcongestd: durable store %s — recovered %d graphs (%d snapshot + %d log, %d quarantined) in %s",
@@ -108,6 +173,9 @@ func main() {
 	defer cancel()
 	if err := httpServer.Shutdown(shutdownCtx); err != nil {
 		log.Fatalf("qcongestd: shutdown: %v", err)
+	}
+	if pprofServer != nil {
+		_ = pprofServer.Shutdown(shutdownCtx)
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("qcongestd: serve: %v", err)

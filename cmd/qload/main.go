@@ -21,6 +21,12 @@
 // dir (the registration answers Created == false) instead of being
 // created fresh — the client half of the crash-recovery smoke: boot
 // with -data-dir, load, SIGKILL, reboot, re-run qload -expectrestart.
+//
+// -apikey attributes the run's traffic to one API key (the daemon's
+// per-key rate limits and quotas apply); 429s are tallied separately
+// as rateLimited429 and count as back-pressure, not failures.
+// -expectreqid asserts the observability contract request by request:
+// any response without an X-Request-Id header fails the run.
 package main
 
 import (
@@ -49,6 +55,7 @@ type report struct {
 	Errors4xx       int64   `json:"errors4xx"`
 	Errors5xx       int64   `json:"errors5xx"`
 	Saturated503    int64   `json:"saturated503"`
+	RateLimited429  int64   `json:"rateLimited429"`
 	DurationSeconds float64 `json:"durationSeconds"`
 	QPS             float64 `json:"qps"`
 	P50Ms           float64 `json:"p50Ms"`
@@ -67,6 +74,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		out      = flag.String("out", "", "write the JSON report to this file")
 		expectRe = flag.Bool("expectrestart", false, "assert the workload graph was recovered from a durable data dir, not created fresh")
+		apiKey   = flag.String("apikey", "", "X-API-Key for every request (empty shares the daemon's anonymous bucket)")
+		expectID = flag.Bool("expectreqid", false, "fail the run if any response arrives without an X-Request-Id header")
 		skModes  = flag.String("sketchmode", "", "comma-separated kernel modes for sketch requests (auto, sparse, dense, delta); empty uses the daemon default. With several, warm sketches round-robin the modes and qload asserts their numerators are byte-identical")
 	)
 	flag.Parse()
@@ -86,6 +95,8 @@ func main() {
 	}
 
 	client := svc.NewClient(*addr)
+	client.APIKey = *apiKey
+	client.RequireRequestID = *expectID
 	waitHealthy(client)
 
 	// Registration is idempotent on the digest, so re-running against a
@@ -128,9 +139,9 @@ func main() {
 	}
 
 	var (
-		next            atomic.Int64
-		err4, err5, sat atomic.Int64
-		deadline        time.Time
+		next                     atomic.Int64
+		err4, err5, sat, limited atomic.Int64
+		deadline                 time.Time
 	)
 	if *duration > 0 {
 		deadline = time.Now().Add(*duration)
@@ -204,6 +215,10 @@ func main() {
 					switch {
 					case se.Code == 503:
 						sat.Add(1)
+					case se.Code == 429:
+						// Back-pressure, not breakage: the daemon shed this
+						// key's overflow exactly as configured.
+						limited.Add(1)
 					case se.Code >= 500:
 						err5.Add(1)
 					default:
@@ -238,6 +253,7 @@ func main() {
 		Errors4xx:       err4.Load(),
 		Errors5xx:       err5.Load(),
 		Saturated503:    sat.Load(),
+		RateLimited429:  limited.Load(),
 		DurationSeconds: elapsed.Seconds(),
 		QPS:             float64(len(all)) / elapsed.Seconds(),
 		P50Ms:           quantile(0.50),
@@ -247,9 +263,9 @@ func main() {
 		rep.CacheHitRate = m.Cache.HitRate
 	}
 
-	fmt.Printf("qload %s: %d requests in %.2fs — %.1f qps, p50 %.3fms, p99 %.3fms (4xx=%d 5xx=%d 503=%d, cache hit rate %.3f)\n",
+	fmt.Printf("qload %s: %d requests in %.2fs — %.1f qps, p50 %.3fms, p99 %.3fms (4xx=%d 5xx=%d 503=%d 429=%d, cache hit rate %.3f)\n",
 		rep.Mix, rep.Requests, rep.DurationSeconds, rep.QPS, rep.P50Ms, rep.P99Ms,
-		rep.Errors4xx, rep.Errors5xx, rep.Saturated503, rep.CacheHitRate)
+		rep.Errors4xx, rep.Errors5xx, rep.Saturated503, rep.RateLimited429, rep.CacheHitRate)
 
 	if *out != "" {
 		raw, _ := json.MarshalIndent(rep, "", "  ")
@@ -257,7 +273,7 @@ func main() {
 			log.Fatalf("qload: writing %s: %v", *out, err)
 		}
 	}
-	success := rep.Requests - rep.Errors4xx - rep.Errors5xx - rep.Saturated503
+	success := rep.Requests - rep.Errors4xx - rep.Errors5xx - rep.Saturated503 - rep.RateLimited429
 	if rep.Errors5xx > 0 {
 		log.Fatalf("qload: FAILED — %d requests drew 5xx", rep.Errors5xx)
 	}

@@ -1,25 +1,37 @@
 // The service walk-through: start an in-process qcongestd handler,
 // register a spine-leaf datacenter fabric through the typed client, and
 // run the full query round trip — exact metrics, a cached sketch, and a
-// batch APSP sweep — printing the cache counters at the end.
+// batch APSP sweep — printing the cache counters and a Prometheus
+// scrape excerpt at the end.
 //
 // Against a separately launched daemon (cmd/qcongestd), drop the
 // httptest server and point qcongest.NewServiceClient at its address.
 package main
 
 import (
+	"bufio"
 	"fmt"
 	"log"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 
 	"qcongest"
 )
 
 func main() {
 	// In-process daemon; swap for a real deployment's URL in production.
-	srv := httptest.NewServer(qcongest.NewService(qcongest.ServiceConfig{CacheCapacity: 8}))
+	// Rate limits and quotas are per X-API-Key (generous here: this
+	// walk-through runs single-threaded).
+	srv := httptest.NewServer(qcongest.NewService(qcongest.ServiceConfig{
+		CacheCapacity: 8,
+		RatePerKey:    100,
+		RateBurst:     100,
+	}))
 	defer srv.Close()
 	client := qcongest.NewServiceClient(srv.URL)
+	client.APIKey = "example"      // attribute this traffic to one tenant bucket
+	client.RequireRequestID = true // assert the X-Request-Id contract on every call
 
 	// Register a two-tier leaf-spine fabric server-side: 4 spines, 8
 	// leaves, 8 hosts per leaf, random weights in [1, 16].
@@ -75,4 +87,21 @@ func main() {
 	}
 	fmt.Printf("cache: %d hits, %d misses, hit rate %.2f\n",
 		m.Cache.Hits, m.Cache.Misses, m.Cache.HitRate)
+	if k, ok := m.RateLimits["example"]; ok {
+		fmt.Printf("key \"example\": %d allowed, %d limited\n", k.Allowed, k.Limited)
+	}
+
+	// The same /metrics endpoint answers a Prometheus scraper with the
+	// text exposition format — print this run's request counters.
+	resp, err := http.Get(srv.URL + "/metrics?format=prometheus")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fmt.Println("prometheus exposition excerpt:")
+	for sc := bufio.NewScanner(resp.Body); sc.Scan(); {
+		if line := sc.Text(); strings.HasPrefix(line, "qcongest_requests_total") {
+			fmt.Println("  " + line)
+		}
+	}
 }

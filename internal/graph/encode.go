@@ -23,7 +23,9 @@ package graph
 // being misread as edges.
 
 import (
+	"bytes"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -82,63 +84,141 @@ func ParseEdgeList(data []byte) (*Graph, error) {
 // an edge count crossing maxEdges) fails immediately, so an untrusted
 // few-byte input cannot request an enormous adjacency allocation.
 // Limits <= 0 are unbounded.
+//
+// The scan is zero-copy over data: lines and fields are sliced in
+// place, never split into fresh strings, so the parser's allocation is
+// the graph being built — an over-limit upload is rejected after O(1)
+// allocations however large its body is (pinned by
+// TestParseEdgeListAllocGuard).
 func ParseEdgeListLimits(data []byte, maxNodes, maxEdges int) (*Graph, error) {
 	var g *Graph
 	sawVersion := false
-	for lineNo, line := range strings.Split(string(data), "\n") {
-		if i := strings.IndexByte(line, '#'); i >= 0 {
+	for lineNo := 1; len(data) > 0; lineNo++ {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		if i := bytes.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]
 		}
-		fields := strings.Fields(line)
-		if len(fields) == 0 {
+		f0, rest := nextField(line)
+		if len(f0) == 0 {
 			continue
 		}
-		if g == nil && !sawVersion && fields[0] == "v" {
-			if len(fields) != 2 {
-				return nil, fmt.Errorf("graph: line %d: expected version header \"v <version>\", got %q", lineNo+1, line)
+		f1, rest := nextField(rest)
+		f2, rest := nextField(rest)
+		extra, _ := nextField(rest)
+		nf := 1
+		switch {
+		case len(extra) > 0:
+			nf = 4 // "too many fields" marker; exact count never matters
+		case len(f2) > 0:
+			nf = 3
+		case len(f1) > 0:
+			nf = 2
+		}
+		if g == nil && !sawVersion && len(f0) == 1 && f0[0] == 'v' {
+			if nf != 2 {
+				return nil, fmt.Errorf("graph: line %d: expected version header \"v <version>\", got %q", lineNo, line)
 			}
-			ver, err := strconv.Atoi(fields[1])
-			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad version %q", lineNo+1, fields[1])
+			ver, ok := atoiBytes(f1)
+			if !ok {
+				return nil, fmt.Errorf("graph: line %d: bad version %q", lineNo, f1)
 			}
 			if ver != EdgeListVersion {
-				return nil, fmt.Errorf("graph: line %d: unsupported edge-list version %d (this build reads version %d)", lineNo+1, ver, EdgeListVersion)
+				return nil, fmt.Errorf("graph: line %d: unsupported edge-list version %d (this build reads version %d)", lineNo, ver, EdgeListVersion)
 			}
 			sawVersion = true
 			continue
 		}
 		if g == nil {
-			if len(fields) != 2 || fields[0] != "n" {
-				return nil, fmt.Errorf("graph: line %d: expected header \"n <nodes>\", got %q", lineNo+1, line)
+			if nf != 2 || len(f0) != 1 || f0[0] != 'n' {
+				return nil, fmt.Errorf("graph: line %d: expected header \"n <nodes>\", got %q", lineNo, line)
 			}
-			n, err := strconv.Atoi(fields[1])
-			if err != nil || n < 0 {
-				return nil, fmt.Errorf("graph: line %d: bad node count %q", lineNo+1, fields[1])
+			n, ok := atoiBytes(f1)
+			if !ok || n < 0 || n > math.MaxInt {
+				return nil, fmt.Errorf("graph: line %d: bad node count %q", lineNo, f1)
 			}
-			if maxNodes > 0 && n > maxNodes {
-				return nil, fmt.Errorf("graph: line %d: node count %d exceeds limit %d", lineNo+1, n, maxNodes)
+			if maxNodes > 0 && n > int64(maxNodes) {
+				return nil, fmt.Errorf("graph: line %d: node count %d exceeds limit %d", lineNo, n, maxNodes)
 			}
-			g = New(n)
+			g = New(int(n))
 			continue
 		}
-		if len(fields) != 3 {
-			return nil, fmt.Errorf("graph: line %d: expected \"<u> <v> <w>\", got %q", lineNo+1, line)
+		if nf != 3 {
+			return nil, fmt.Errorf("graph: line %d: expected \"<u> <v> <w>\", got %q", lineNo, line)
 		}
-		u, err1 := strconv.Atoi(fields[0])
-		v, err2 := strconv.Atoi(fields[1])
-		w, err3 := strconv.ParseInt(fields[2], 10, 64)
-		if err1 != nil || err2 != nil || err3 != nil {
-			return nil, fmt.Errorf("graph: line %d: non-numeric edge %q", lineNo+1, line)
+		u, ok1 := atoiBytes(f0)
+		v, ok2 := atoiBytes(f1)
+		w, ok3 := atoiBytes(f2)
+		if !ok1 || !ok2 || !ok3 || u > math.MaxInt || v > math.MaxInt {
+			return nil, fmt.Errorf("graph: line %d: non-numeric edge %q", lineNo, line)
 		}
 		if maxEdges > 0 && g.M() >= maxEdges {
-			return nil, fmt.Errorf("graph: line %d: edge count exceeds limit %d", lineNo+1, maxEdges)
+			return nil, fmt.Errorf("graph: line %d: edge count exceeds limit %d", lineNo, maxEdges)
 		}
-		if err := g.AddEdge(u, v, w); err != nil {
-			return nil, fmt.Errorf("graph: line %d: %w", lineNo+1, err)
+		if err := g.AddEdge(int(u), int(v), w); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 		}
 	}
 	if g == nil {
 		return nil, fmt.Errorf("graph: empty edge list (missing \"n <nodes>\" header)")
 	}
 	return g, nil
+}
+
+// isFieldSep reports the in-line separators of the wire format: the
+// ASCII whitespace set strings.Fields split on (minus '\n', which the
+// line scanner already consumed). Including '\r' keeps CRLF inputs
+// parsing as before.
+func isFieldSep(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f'
+}
+
+// nextField slices the first separator-delimited field off line,
+// returning the field (empty when the line is blank) and the remainder.
+func nextField(line []byte) (field, rest []byte) {
+	i := 0
+	for i < len(line) && isFieldSep(line[i]) {
+		i++
+	}
+	j := i
+	for j < len(line) && !isFieldSep(line[j]) {
+		j++
+	}
+	return line[i:j], line[j:]
+}
+
+// atoiBytes is strconv.ParseInt(string(b), 10, 64) without the string
+// conversion, so the hot parse loop stays allocation-free. ok is false
+// on empty input, stray bytes, or int64 overflow.
+func atoiBytes(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		b = b[1:]
+		if len(b) == 0 {
+			return 0, false
+		}
+	}
+	var n int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := int64(c - '0')
+		if n > (math.MaxInt64-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
 }

@@ -69,6 +69,53 @@ func TestParseEdgeListFormat(t *testing.T) {
 	if w, ok := g.HasEdge(2, 3); !ok || w != 9 {
 		t.Fatalf("edge {2,3}: got (%d, %v)", w, ok)
 	}
+	// CRLF line endings parse identically (the '\r' is a field
+	// separator, exactly as strings.Fields treated it).
+	g, err = ParseEdgeList([]byte("n 4\r\n0 1 2\r\n2 3 9\r\n"))
+	if err != nil || g.N() != 4 || g.M() != 2 {
+		t.Fatalf("CRLF parse: (%v, %v)", g, err)
+	}
+	// A missing trailing newline still parses the last edge.
+	g, err = ParseEdgeList([]byte("n 2\n0 1 5"))
+	if err != nil || g.M() != 1 {
+		t.Fatalf("no trailing newline: (%v, %v)", g, err)
+	}
+}
+
+// TestParseEdgeListAllocGuard pins the zero-copy contract of
+// ParseEdgeListLimits: rejecting an over-limit body must not copy or
+// split the body first, so the allocation count of a rejection is O(1)
+// in the input size. The old strings.Split implementation copied the
+// whole body and allocated per line (~3 allocations per input line);
+// this guard fails loudly if that ever regresses.
+func TestParseEdgeListAllocGuard(t *testing.T) {
+	// ~1.4 MB body, ~100k edge lines against a maxEdges=8 limit.
+	var sb strings.Builder
+	sb.WriteString("n 100\n")
+	for i := 0; i < 100_000; i++ {
+		sb.WriteString("0 1 1\n")
+	}
+	data := []byte(sb.String())
+
+	overEdges := testing.AllocsPerRun(10, func() {
+		if _, err := ParseEdgeListLimits(data, 0, 8); err == nil {
+			t.Fatal("expected the edge limit to reject")
+		}
+	})
+	if overEdges > 64 {
+		t.Fatalf("edge-limit rejection cost %.0f allocations; the parser is copying the body again", overEdges)
+	}
+
+	// A header above maxNodes rejects before any adjacency allocation,
+	// whatever follows it.
+	overNodes := testing.AllocsPerRun(10, func() {
+		if _, err := ParseEdgeListLimits(data, 10, 0); err == nil {
+			t.Fatal("expected the node limit to reject")
+		}
+	})
+	if overNodes > 8 {
+		t.Fatalf("node-limit rejection cost %.0f allocations, want O(1)", overNodes)
+	}
 }
 
 // TestParseEdgeListErrors checks that malformed inputs are rejected

@@ -11,6 +11,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 
 	"qcongest/internal/graph"
@@ -22,6 +23,14 @@ type Client struct {
 	BaseURL string
 	// HTTPClient overrides http.DefaultClient when set.
 	HTTPClient *http.Client
+	// APIKey, when set, is sent as X-API-Key on every request so the
+	// daemon's per-key rate limits and graph quotas attribute traffic
+	// to this caller instead of the shared "anonymous" bucket.
+	APIKey string
+	// RequireRequestID makes every call fail if the daemon does not
+	// echo an X-Request-Id response header. Load drivers set it to turn
+	// the observability contract into a hard assertion.
+	RequireRequestID bool
 }
 
 // NewClient returns a Client for the daemon at baseURL.
@@ -35,6 +44,12 @@ type StatusError struct {
 	Code int
 	// Message is the server's ErrorResponse.Error body.
 	Message string
+	// RequestID is the daemon's X-Request-Id for the failed call, for
+	// correlating client-side failures with the daemon's access log.
+	RequestID string
+	// RetryAfter is the Retry-After hint in seconds on 429 responses,
+	// 0 when absent.
+	RetryAfter int
 }
 
 // Error formats the status and server message.
@@ -66,6 +81,9 @@ func (c *Client) do(method, path string, in, out any) error {
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return fmt.Errorf("svc: %s %s: %w", method, path, err)
@@ -76,13 +94,22 @@ func (c *Client) do(method, path string, in, out any) error {
 		_, _ = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
+	if c.RequireRequestID && resp.Header.Get("X-Request-Id") == "" {
+		return fmt.Errorf("svc: %s %s: daemon sent no X-Request-Id (status %d)", method, path, resp.StatusCode)
+	}
 	if resp.StatusCode/100 != 2 {
 		var er ErrorResponse
 		msg := "(undecodable error body)"
 		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
 			msg = er.Error
 		}
-		return &StatusError{Code: resp.StatusCode, Message: msg}
+		retry, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		return &StatusError{
+			Code:       resp.StatusCode,
+			Message:    msg,
+			RequestID:  resp.Header.Get("X-Request-Id"),
+			RetryAfter: retry,
+		}
 	}
 	if out == nil {
 		return nil

@@ -23,32 +23,35 @@ import (
 // leaving int64 headroom for every numerator sum.
 const maxEpsT = 1 << 20
 
-// statusRecorder captures the response status for the metrics ledger.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-}
-
-// WriteHeader records the status before delegating.
-func (r *statusRecorder) WriteHeader(code int) {
-	r.status = code
-	r.ResponseWriter.WriteHeader(code)
-}
-
 // instrument wraps a handler with the class's in-flight gauge and
-// latency/status ledger.
+// latency/status ledger, plus the per-API-key rate-limit layer — the
+// bucket check runs inside the ledger so 429s show up in the class's
+// 4xx counts and latency histogram like every other rejection.
 func (s *Server) instrument(class string, h http.HandlerFunc) http.HandlerFunc {
 	c := s.metrics.class(class)
 	return func(w http.ResponseWriter, r *http.Request) {
+		rec, ok := w.(*responseState)
+		if !ok {
+			// ServeHTTP always wraps; this is the direct-mount fallback.
+			rec = &responseState{ResponseWriter: w, status: http.StatusOK}
+		}
+		rec.class = class
 		c.inFlight.Add(1)
 		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		// Deferred so a panicking handler (net/http recovers it) cannot
 		// wedge the in-flight gauge.
 		defer func() {
 			c.inFlight.Add(-1)
 			c.observe(time.Since(start), rec.status)
 		}()
+		if s.limiter != nil {
+			if retry, allowed := s.limiter.allow(apiKeyOf(r)); !allowed {
+				rec.Header().Set("Retry-After", strconv.Itoa(retry))
+				writeError(rec, http.StatusTooManyRequests,
+					"rate limit exceeded for this API key, retry in %ds", retry)
+				return
+			}
+		}
 		h(rec, r)
 	}
 }
@@ -65,15 +68,28 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	if code == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
-	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+	// The middleware set the correlation header before any handler ran,
+	// so every error body can echo it for log correlation.
+	writeJSON(w, code, ErrorResponse{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get(requestIDHeader),
+	})
 }
 
 // decodeBody strictly decodes a JSON request body into v (unknown
-// fields are errors, bodies are capped at cfg.MaxBodyBytes).
+// fields are errors). The body was already capped at cfg.MaxBodyBytes
+// by the middleware (ServeHTTP); crossing the cap is the documented
+// 413, not a generic 400.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit", tooBig.Limit)
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
@@ -122,9 +138,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, resp)
 }
 
+// handleMetrics serves both metrics views by content negotiation: the
+// Prometheus exposition format for scrapers (Accept: text/plain or
+// application/openmetrics-text, or ?format=prometheus) and the JSON
+// snapshot for everything else — the PR 4 default, so existing typed
+// clients keep decoding.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if wantsPromText(r) {
+		s.writePromText(w)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.snapshot())
@@ -143,6 +168,7 @@ func (s *Server) handleGraphInfo(w http.ResponseWriter, _ *http.Request, e *entr
 }
 
 func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
+	key := apiKeyOf(r)
 	var req UploadRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -187,6 +213,17 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 			"graph n=%d m=%d exceeds limits (n <= %d, m <= %d)", g.N(), g.M(), s.cfg.MaxNodes, s.cfg.MaxEdges)
 		return
 	}
+	// The tenant quota caps *created* graphs, so it is enforced at the
+	// point where creation is decided: a re-upload of an already
+	// registered digest stays idempotent even for an at-quota key.
+	// (Advisory against concurrent creates — see limiter.graphQuotaLeft.)
+	if s.limiter != nil && !s.limiter.graphQuotaLeft(key) {
+		if _, ok := s.reg.get(g.Digest()); !ok {
+			writeError(w, http.StatusTooManyRequests,
+				"API key %q reached its graph quota (%d created graphs)", key, s.cfg.TenantMaxGraphs)
+			return
+		}
+	}
 	e, created, err := s.reg.put(g)
 	if err != nil {
 		writeError(w, http.StatusInsufficientStorage, "%v (capacity %d)", err, s.cfg.MaxGraphs)
@@ -209,6 +246,9 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 		// durability receipt for nothing.
 		writeError(w, http.StatusInternalServerError, "persisting graph: %v", err)
 		return
+	}
+	if created && s.limiter != nil {
+		s.limiter.noteGraph(key)
 	}
 	code := http.StatusOK
 	if created {

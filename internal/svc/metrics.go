@@ -1,6 +1,7 @@
 package svc
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -24,12 +25,15 @@ var allClasses = []string{classUpload, classQuery, classSketch, classBatch}
 // allocation-free under concurrent load.
 const latencyBuckets = 30
 
-// classMetrics is the lock-free ledger of one request class.
+// classMetrics is the lock-free ledger of one request class. sumUs
+// accumulates total observed latency so the Prometheus histogram
+// (promtext.go) can emit a native _sum alongside the buckets.
 type classMetrics struct {
 	count    atomic.Int64
 	err4xx   atomic.Int64
 	err5xx   atomic.Int64
 	inFlight atomic.Int64
+	sumUs    atomic.Int64
 	hist     [latencyBuckets]atomic.Int64
 }
 
@@ -42,6 +46,7 @@ func (c *classMetrics) observe(d time.Duration, status int) {
 		c.err4xx.Add(1)
 	}
 	us := d.Microseconds()
+	c.sumUs.Add(us)
 	b := 0
 	if us > 0 {
 		b = bits.Len64(uint64(us)) - 1
@@ -65,9 +70,17 @@ func (c *classMetrics) quantileMs(q float64) float64 {
 	if total == 0 {
 		return 0
 	}
-	target := int64(q * float64(total))
+	// The q-quantile of total ordered samples is the one at ceiling
+	// rank ⌈q·total⌉: p50 over 3 samples is the 2nd, p99 over 10 the
+	// 10th. Truncating here (the pre-fix bug) selected the sample one
+	// rank early whenever q·total was fractional, under-reading p99 at
+	// low counts — pinned by TestQuantileCeilingRank.
+	target := int64(math.Ceil(q * float64(total)))
 	if target < 1 {
 		target = 1
+	}
+	if target > total {
+		target = total
 	}
 	var seen int64
 	for i, n := range counts {
@@ -127,6 +140,9 @@ func (s *Server) snapshot() MetricsSnapshot {
 			P50Ms:    c.quantileMs(0.50),
 			P99Ms:    c.quantileMs(0.99),
 		}
+	}
+	if s.limiter != nil {
+		snap.RateLimits = s.limiter.stats()
 	}
 	if s.store != nil {
 		ss := s.store.Stats()

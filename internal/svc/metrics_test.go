@@ -1,0 +1,55 @@
+package svc
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuantileCeilingRank pins the quantile-rank bugfix over hand-built
+// histograms: the q-quantile of total samples is the sample at ceiling
+// rank ⌈q·total⌉, reported as the upper bound (in ms) of the
+// power-of-two bucket holding it. The pre-fix truncation selected the
+// sample one rank early whenever q·total was fractional — p50 over 3
+// samples answered the 1st, and p99 under-read at low counts.
+func TestQuantileCeilingRank(t *testing.T) {
+	// Bucket geometry: a sample of d µs lands in bucket ⌊log2 d⌋, whose
+	// reported upper bound is 2^(bucket+1) µs.
+	build := func(us ...int64) *classMetrics {
+		c := &classMetrics{}
+		for _, u := range us {
+			c.observe(time.Duration(u)*time.Microsecond, 200)
+		}
+		return c
+	}
+	for _, tc := range []struct {
+		name    string
+		samples []int64 // latencies in µs
+		q       float64
+		wantMs  float64
+	}{
+		// ⌈0.5·3⌉ = 2: the 2nd sample (2µs, bucket 1, upper 4µs). The
+		// truncation bug picked rank 1 and answered 0.002.
+		{"p50 of 3 takes the 2nd", []int64{1, 2, 4}, 0.50, 0.004},
+		// ⌈0.99·10⌉ = 10: the single slow sample must show up in p99.
+		// Truncation picked rank 9 and answered 0.002 — a 1000× under-read.
+		{"p99 of 10 sees the outlier", []int64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1024}, 0.99, 2.048},
+		// ⌈0.5·2⌉ = 1: an even count takes the lower middle.
+		{"p50 of 2 takes the 1st", []int64{1, 1024}, 0.50, 0.002},
+		{"p50 of 1 is the sample", []int64{100}, 0.50, 0.128},
+		{"q=1 is the max", []int64{1, 2, 4, 8, 4096}, 1.0, 8.192},
+		// ⌈0.25·4⌉ = 1.
+		{"p25 of 4 takes the 1st", []int64{1, 2, 4, 8}, 0.25, 0.002},
+		// ⌈0.75·4⌉ = 3.
+		{"p75 of 4 takes the 3rd", []int64{1, 2, 4, 8}, 0.75, 0.008},
+		// All mass in one bucket: every quantile answers that bucket.
+		{"uniform bucket", []int64{3, 3, 3}, 0.99, 0.004},
+	} {
+		if got := build(tc.samples...).quantileMs(tc.q); got != tc.wantMs {
+			t.Errorf("%s: quantileMs(%g) = %v, want %v", tc.name, tc.q, got, tc.wantMs)
+		}
+	}
+	// Empty ledger answers 0 for every quantile.
+	if got := (&classMetrics{}).quantileMs(0.99); got != 0 {
+		t.Errorf("empty histogram: got %v, want 0", got)
+	}
+}

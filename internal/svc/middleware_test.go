@@ -1,0 +1,325 @@
+// Middleware-layer suite: request-ID generation and echo, access-log
+// correlation, body caps, and the per-key token buckets and graph
+// quotas — all observed over real HTTP, including the error paths.
+package svc_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"qcongest/internal/svc"
+)
+
+// newRawService starts a daemon and returns its base URL alongside the
+// typed client, for tests that assert on raw headers.
+func newRawService(t *testing.T, cfg svc.Config) (string, *svc.Client) {
+	t.Helper()
+	s := svc.New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts.URL, svc.NewClient(ts.URL)
+}
+
+// generatedIDPattern matches daemon-minted request IDs: an 8-hex boot
+// ID, a dash, and an 8-hex sequence number.
+var generatedIDPattern = regexp.MustCompile(`^[0-9a-f]{8}-[0-9a-f]{8}$`)
+
+func get(t *testing.T, url string, header map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestRequestIDGeneratedAndEchoed(t *testing.T) {
+	base, _ := newRawService(t, svc.Config{})
+
+	// No inbound ID: the daemon mints one.
+	resp := get(t, base+"/healthz", nil)
+	id := resp.Header.Get("X-Request-Id")
+	if !generatedIDPattern.MatchString(id) {
+		t.Fatalf("generated request ID %q does not match %v", id, generatedIDPattern)
+	}
+
+	// A second request gets a different ID.
+	resp2 := get(t, base+"/healthz", nil)
+	if id2 := resp2.Header.Get("X-Request-Id"); id2 == id {
+		t.Fatalf("two requests shared request ID %q", id)
+	}
+
+	// A well-formed inbound ID is echoed verbatim.
+	resp3 := get(t, base+"/healthz", map[string]string{"X-Request-Id": "trace-abc.123_456"})
+	if got := resp3.Header.Get("X-Request-Id"); got != "trace-abc.123_456" {
+		t.Fatalf("inbound request ID not echoed: got %q", got)
+	}
+
+	// Malformed inbound IDs (bad characters, over-long) are replaced,
+	// never reflected back.
+	for _, bad := range []string{"has space", "quote\"ch", strings.Repeat("x", 65)} {
+		resp := get(t, base+"/healthz", map[string]string{"X-Request-Id": bad})
+		if got := resp.Header.Get("X-Request-Id"); !generatedIDPattern.MatchString(got) {
+			t.Fatalf("malformed inbound ID %q: expected minted replacement, got %q", bad, got)
+		}
+	}
+}
+
+func TestRequestIDOnErrorPaths(t *testing.T) {
+	base, _ := newRawService(t, svc.Config{})
+
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/v1/graphs/nosuchdigest", http.StatusBadRequest},                // malformed digest
+		{"/v1/graphs/0123456789abcdef", http.StatusNotFound},              // well-formed, absent
+		{"/v1/nope", http.StatusNotFound},                                 // unrouted path
+		{"/v1/graphs/0123456789abcdef/eccentricity", http.StatusNotFound}, // absent digest, nested route
+	} {
+		resp := get(t, base+tc.path, nil)
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s: status %d, want %d", tc.path, resp.StatusCode, tc.want)
+		}
+		id := resp.Header.Get("X-Request-Id")
+		if id == "" {
+			t.Fatalf("%s: error response carries no X-Request-Id", tc.path)
+		}
+		var er struct {
+			Error     string `json:"error"`
+			RequestID string `json:"requestId"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatalf("%s: undecodable error body: %v", tc.path, err)
+		}
+		if er.RequestID != id {
+			t.Fatalf("%s: body requestId %q != header %q", tc.path, er.RequestID, id)
+		}
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the access-log write
+// races the client observing the response, so the reader must lock.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestAccessLogCorrelation(t *testing.T) {
+	var logBuf syncBuffer
+	base, _ := newRawService(t, svc.Config{AccessLog: &logBuf})
+
+	resp := get(t, base+"/v1/graphs", map[string]string{
+		"X-Request-Id": "corr-0001",
+		"X-API-Key":    "team-a",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list graphs: status %d", resp.StatusCode)
+	}
+	io.Copy(io.Discard, resp.Body)
+
+	// One JSON line per request; find ours and check the fields that
+	// make the log joinable with client-side traces.
+	var line map[string]any
+	for _, raw := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(raw), &m); err != nil {
+			t.Fatalf("access log line is not JSON: %q (%v)", raw, err)
+		}
+		if m["id"] == "corr-0001" {
+			line = m
+			break
+		}
+	}
+	if line == nil {
+		t.Fatalf("no access-log line with id corr-0001 in:\n%s", logBuf.String())
+	}
+	if line["method"] != "GET" || line["path"] != "/v1/graphs" {
+		t.Fatalf("access log line has wrong method/path: %v", line)
+	}
+	if line["status"] != float64(http.StatusOK) {
+		t.Fatalf("access log status = %v, want 200", line["status"])
+	}
+	if line["key"] != "team-a" {
+		t.Fatalf("access log key = %v, want team-a", line["key"])
+	}
+	if line["class"] != "query" {
+		t.Fatalf("access log class = %v, want query", line["class"])
+	}
+}
+
+func TestBodyLimit413(t *testing.T) {
+	base, _ := newRawService(t, svc.Config{MaxBodyBytes: 1024})
+
+	big := strings.Repeat("x", 4096)
+	resp, err := http.Post(base+"/v1/graphs", "application/json",
+		strings.NewReader(`{"edgeList":"`+big+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload: status %d, want 413", resp.StatusCode)
+	}
+	var er struct {
+		Error     string `json:"error"`
+		RequestID string `json:"requestId"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("413 body undecodable: %v", err)
+	}
+	if !strings.Contains(er.Error, "1024-byte limit") {
+		t.Fatalf("413 message does not state the documented limit: %q", er.Error)
+	}
+	if er.RequestID == "" || er.RequestID != resp.Header.Get("X-Request-Id") {
+		t.Fatalf("413 requestId %q != header %q", er.RequestID, resp.Header.Get("X-Request-Id"))
+	}
+}
+
+func TestRateLimitPerKeyIsolation(t *testing.T) {
+	// A refill rate of 1/1000 rps means the bucket effectively never
+	// refills within the test, so admission is exactly the burst depth
+	// and the assertions are deterministic.
+	base, client := newRawService(t, svc.Config{RatePerKey: 0.001, RateBurst: 2})
+
+	// Key A drains its burst...
+	for i := 0; i < 2; i++ {
+		resp := get(t, base+"/v1/graphs", map[string]string{"X-API-Key": "key-a"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("key-a request %d: status %d, want 200", i, resp.StatusCode)
+		}
+		io.Copy(io.Discard, resp.Body)
+	}
+	// ...and the next call is limited, with a Retry-After hint and a
+	// request ID on the error path.
+	resp := get(t, base+"/v1/graphs", map[string]string{"X-API-Key": "key-a"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("key-a over burst: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Fatal("429 without X-Request-Id header")
+	}
+	io.Copy(io.Discard, resp.Body)
+
+	// Key B is a different bucket: still admitted.
+	respB := get(t, base+"/v1/graphs", map[string]string{"X-API-Key": "key-b"})
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("key-b starved by key-a's limit: status %d", respB.StatusCode)
+	}
+	io.Copy(io.Discard, respB.Body)
+
+	// The typed client surfaces the 429 as a StatusError with the
+	// Retry-After hint.
+	client.APIKey = "key-a"
+	_, err := client.Graphs()
+	var se *svc.StatusError
+	if !asStatusError(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("client over-limit call: got %v, want StatusError 429", err)
+	}
+	if se.RetryAfter < 1 {
+		t.Fatalf("StatusError.RetryAfter = %d, want >= 1", se.RetryAfter)
+	}
+
+	// Both outcomes are on the per-key ledger in the JSON metrics view;
+	// /metrics itself is unmetered so this read cannot be limited.
+	snap, err := svc.NewClient(base).Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := snap.RateLimits["key-a"]
+	if !ok {
+		t.Fatalf("metrics missing rateLimits entry for key-a: %v", snap.RateLimits)
+	}
+	if a.Allowed != 2 || a.Limited != 2 {
+		t.Fatalf("key-a ledger = %+v, want Allowed 2 Limited 2", a)
+	}
+	if b := snap.RateLimits["key-b"]; b.Allowed != 1 || b.Limited != 0 {
+		t.Fatalf("key-b ledger = %+v, want Allowed 1 Limited 0", b)
+	}
+}
+
+func TestTenantGraphQuota(t *testing.T) {
+	_, client := newRawService(t, svc.Config{TenantMaxGraphs: 1})
+
+	client.APIKey = "tenant-a"
+	if _, err := client.Upload(workload(t, 40)); err != nil {
+		t.Fatalf("first upload under quota failed: %v", err)
+	}
+	_, err := client.Upload(workload(t, 60))
+	var se *svc.StatusError
+	if !asStatusError(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota upload: got %v, want StatusError 429", err)
+	}
+	if !strings.Contains(se.Message, "quota") {
+		t.Fatalf("quota 429 message does not mention the quota: %q", se.Message)
+	}
+
+	// Re-uploading the tenant's existing graph is idempotent, not a new
+	// creation, so it stays admitted.
+	if _, err := client.Upload(workload(t, 40)); err != nil {
+		t.Fatalf("idempotent re-upload blocked by quota: %v", err)
+	}
+
+	// Another tenant has its own quota.
+	client.APIKey = "tenant-b"
+	if _, err := client.Upload(workload(t, 80)); err != nil {
+		t.Fatalf("tenant-b starved by tenant-a's quota: %v", err)
+	}
+}
+
+func TestClientRequireRequestID(t *testing.T) {
+	// Against the real daemon the assertion passes...
+	_, client := newRawService(t, svc.Config{})
+	client.RequireRequestID = true
+	if _, err := client.Graphs(); err != nil {
+		t.Fatalf("RequireRequestID against conforming daemon: %v", err)
+	}
+
+	// ...and against a server that strips the header it fails loudly.
+	bare := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"graphs":[]}`)
+	}))
+	t.Cleanup(bare.Close)
+	c := svc.NewClient(bare.URL)
+	c.RequireRequestID = true
+	if _, err := c.Graphs(); err == nil || !strings.Contains(err.Error(), "X-Request-Id") {
+		t.Fatalf("RequireRequestID against bare server: got %v, want X-Request-Id error", err)
+	}
+}
+
+// asStatusError unwraps err into a *svc.StatusError.
+func asStatusError(err error, target **svc.StatusError) bool {
+	return errors.As(err, target)
+}

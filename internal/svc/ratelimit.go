@@ -1,0 +1,127 @@
+package svc
+
+// Per-tenant admission: a token bucket per API key plus a per-key
+// created-graph quota, layered in *front* of the build/query gates
+// (instrument checks the bucket before a handler can reach admit).
+// The gates protect the daemon globally; this layer makes overload
+// degrade per tenant — a key that floods the daemon exhausts its own
+// bucket and draws 429 + Retry-After while every other key's requests
+// keep flowing. Per-key counters surface in both /metrics views.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// keyState is one API key's ledger: the token bucket (guarded by mu)
+// and the lock-free counters both metrics views snapshot.
+type keyState struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	allowed atomic.Int64
+	limited atomic.Int64
+	graphs  atomic.Int64
+}
+
+// limiter holds every key's state. rate <= 0 disables the token
+// buckets (the limiter then only tracks counters and quotas); quota
+// <= 0 disables the graph quota.
+type limiter struct {
+	rate  float64 // sustained tokens/sec per key
+	burst float64 // bucket depth
+	quota int64   // created graphs per key
+
+	mu   sync.RWMutex
+	keys map[string]*keyState
+}
+
+// newLimiter returns nil when neither limit is configured — a nil
+// limiter means the middleware layer skips per-key work entirely.
+func newLimiter(rate float64, burst, quota int) *limiter {
+	if rate <= 0 && quota <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		// Default depth: two seconds of sustained rate, at least 1.
+		b = math.Max(1, math.Ceil(2*rate))
+	}
+	return &limiter{rate: rate, burst: b, quota: int64(quota), keys: make(map[string]*keyState)}
+}
+
+// state returns key's ledger, creating a full bucket on first sight.
+func (l *limiter) state(key string) *keyState {
+	l.mu.RLock()
+	k := l.keys[key]
+	l.mu.RUnlock()
+	if k != nil {
+		return k
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if k = l.keys[key]; k == nil {
+		k = &keyState{tokens: l.burst, last: time.Now()}
+		l.keys[key] = k
+	}
+	return k
+}
+
+// allow spends one token from key's bucket. A false return carries the
+// Retry-After hint in whole seconds (>= 1): the time until the bucket
+// refills one token at the sustained rate.
+func (l *limiter) allow(key string) (retryAfter int, ok bool) {
+	k := l.state(key)
+	if l.rate <= 0 { // quota-only limiter: every request is admitted
+		k.allowed.Add(1)
+		return 0, true
+	}
+	k.mu.Lock()
+	now := time.Now()
+	k.tokens = math.Min(l.burst, k.tokens+now.Sub(k.last).Seconds()*l.rate)
+	k.last = now
+	if k.tokens >= 1 {
+		k.tokens--
+		k.mu.Unlock()
+		k.allowed.Add(1)
+		return 0, true
+	}
+	need := (1 - k.tokens) / l.rate
+	k.mu.Unlock()
+	k.limited.Add(1)
+	return int(math.Max(1, math.Ceil(need))), false
+}
+
+// graphQuotaLeft reports whether key may create another graph. The
+// check is advisory against concurrent creates (two racing uploads may
+// both pass at quota-1); the quota bounds steady state, not a race
+// window.
+func (l *limiter) graphQuotaLeft(key string) bool {
+	if l.quota <= 0 {
+		return true
+	}
+	return l.state(key).graphs.Load() < l.quota
+}
+
+// noteGraph records a successful graph creation against key's quota.
+func (l *limiter) noteGraph(key string) {
+	l.state(key).graphs.Add(1)
+}
+
+// stats snapshots every key's counters for the metrics views.
+func (l *limiter) stats() map[string]KeyMetrics {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make(map[string]KeyMetrics, len(l.keys))
+	for key, k := range l.keys {
+		out[key] = KeyMetrics{
+			Allowed: k.allowed.Load(),
+			Limited: k.limited.Load(),
+			Graphs:  k.graphs.Load(),
+		}
+	}
+	return out
+}

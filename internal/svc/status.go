@@ -1,0 +1,161 @@
+package svc
+
+// The embedded /status page: a single self-refreshing HTML view over
+// the same MetricsSnapshot the JSON and Prometheus endpoints read, for
+// operators who want live qps/p99/cache-hit/gate-occupancy without a
+// scraper. It is rendered server-side from one template with no
+// scripts or external assets, so it works over curl and in locked-down
+// environments alike.
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+)
+
+// statusRow is one request-class line of the page.
+type statusRow struct {
+	Class    string
+	Count    int64
+	QPS      string
+	P50Ms    float64
+	P99Ms    float64
+	Errors4x int64
+	Errors5x int64
+	InFlight int64
+}
+
+// statusKeyRow is one API-key line of the page.
+type statusKeyRow struct {
+	Key     string
+	Allowed int64
+	Limited int64
+	Graphs  int64
+}
+
+// statusView is the template payload.
+type statusView struct {
+	Uptime       string
+	Graphs       int
+	CacheHitRate string
+	CacheEntries int
+	CacheHits    int64
+	CacheMisses  int64
+	CacheWaits   int64
+	Evictions    int64
+	BuildInUse   int
+	QueryInUse   int
+	Rows         []statusRow
+	Keys         []statusKeyRow
+	Store        *StoreMetrics
+}
+
+var statusTmpl = template.Must(template.New("status").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="5">
+<title>qcongestd status</title>
+<style>
+body { font-family: ui-monospace, SFMono-Regular, Menlo, monospace; margin: 2rem; color: #222; }
+h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin-top: 1.5rem; }
+table { border-collapse: collapse; margin-top: .5rem; }
+th, td { border: 1px solid #ccc; padding: .25rem .6rem; text-align: right; }
+th { background: #f2f2f2; } td.k, th.k { text-align: left; }
+.muted { color: #777; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>qcongestd</h1>
+<p class="muted">uptime {{.Uptime}} &middot; {{.Graphs}} graphs &middot; auto-refreshes every 5s &middot;
+<a href="/metrics">JSON metrics</a> &middot; <a href="/metrics?format=prometheus">Prometheus</a></p>
+
+<h2>Requests</h2>
+<table>
+<tr><th class="k">class</th><th>count</th><th>qps</th><th>p50 ms</th><th>p99 ms</th><th>4xx</th><th>5xx</th><th>in flight</th></tr>
+{{range .Rows}}<tr><td class="k">{{.Class}}</td><td>{{.Count}}</td><td>{{.QPS}}</td><td>{{.P50Ms}}</td><td>{{.P99Ms}}</td><td>{{.Errors4x}}</td><td>{{.Errors5x}}</td><td>{{.InFlight}}</td></tr>
+{{end}}</table>
+
+<h2>Sketch cache</h2>
+<table>
+<tr><th>hit rate</th><th>entries</th><th>hits</th><th>misses</th><th>waits</th><th>evictions</th></tr>
+<tr><td>{{.CacheHitRate}}</td><td>{{.CacheEntries}}</td><td>{{.CacheHits}}</td><td>{{.CacheMisses}}</td><td>{{.CacheWaits}}</td><td>{{.Evictions}}</td></tr>
+</table>
+
+<h2>Admission gates</h2>
+<table>
+<tr><th class="k">gate</th><th>slots in use</th></tr>
+<tr><td class="k">build</td><td>{{.BuildInUse}}</td></tr>
+<tr><td class="k">query</td><td>{{.QueryInUse}}</td></tr>
+</table>
+
+{{if .Keys}}<h2>API keys</h2>
+<table>
+<tr><th class="k">key</th><th>allowed</th><th>limited</th><th>graphs</th></tr>
+{{range .Keys}}<tr><td class="k">{{.Key}}</td><td>{{.Allowed}}</td><td>{{.Limited}}</td><td>{{.Graphs}}</td></tr>
+{{end}}</table>{{end}}
+
+{{if .Store}}<h2>Durable store</h2>
+<table>
+<tr><th>graphs</th><th>appends</th><th>snapshots</th><th>WAL bytes</th><th>snapshot bytes</th><th>warm hits</th></tr>
+<tr><td>{{.Store.Graphs}}</td><td>{{.Store.Appends}}</td><td>{{.Store.Snapshots}}</td><td>{{.Store.WALBytes}}</td><td>{{.Store.SnapshotBytes}}</td><td>{{.Store.WarmStartHits}}</td></tr>
+</table>{{end}}
+</body>
+</html>
+`))
+
+// handleStatus renders the operator page from a fresh snapshot.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed; use GET", r.Method)
+		return
+	}
+	snap := s.snapshot()
+	view := statusView{
+		Uptime:       fmt.Sprintf("%.0fs", snap.UptimeSeconds),
+		Graphs:       snap.Graphs,
+		CacheHitRate: fmt.Sprintf("%.1f%%", snap.Cache.HitRate*100),
+		CacheEntries: snap.Cache.Size,
+		CacheHits:    snap.Cache.Hits,
+		CacheMisses:  snap.Cache.Misses,
+		CacheWaits:   snap.Cache.Waits,
+		Evictions:    snap.Cache.Evictions,
+		BuildInUse:   snap.BuildSlotsInUse,
+		QueryInUse:   snap.QuerySlotsInUse,
+		Store:        snap.Store,
+	}
+	for _, class := range allClasses {
+		rm := snap.Requests[class]
+		qps := 0.0
+		if snap.UptimeSeconds > 0 {
+			qps = float64(rm.Count) / snap.UptimeSeconds
+		}
+		view.Rows = append(view.Rows, statusRow{
+			Class:    class,
+			Count:    rm.Count,
+			QPS:      fmt.Sprintf("%.2f", qps),
+			P50Ms:    rm.P50Ms,
+			P99Ms:    rm.P99Ms,
+			Errors4x: rm.Errors4x,
+			Errors5x: rm.Errors5x,
+			InFlight: rm.InFlight,
+		})
+	}
+	if len(snap.RateLimits) > 0 {
+		keys := make([]string, 0, len(snap.RateLimits))
+		for key := range snap.RateLimits {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			k := snap.RateLimits[key]
+			view.Keys = append(view.Keys, statusKeyRow{Key: key, Allowed: k.Allowed, Limited: k.Limited, Graphs: k.Graphs})
+		}
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := statusTmpl.Execute(w, view); err != nil {
+		// Headers are already out; nothing recoverable remains.
+		return
+	}
+}

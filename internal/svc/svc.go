@@ -40,6 +40,8 @@
 package svc
 
 import (
+	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -106,6 +108,23 @@ type Config struct {
 	// appends (0 = store default 64, negative disables; ignored without
 	// DataDir).
 	SnapshotEvery int
+	// RatePerKey, when > 0, enforces a per-API-key token bucket on
+	// every /v1 endpoint: sustained RatePerKey requests/sec with
+	// RateBurst depth, overflow answered 429 with Retry-After. Keys
+	// come from the X-API-Key header (absent = the shared "anonymous"
+	// bucket). 0 disables rate limiting.
+	RatePerKey float64
+	// RateBurst is the token-bucket depth (default ⌈2·RatePerKey⌉,
+	// minimum 1; ignored when RatePerKey is 0).
+	RateBurst int
+	// TenantMaxGraphs, when > 0, caps the graphs one API key may
+	// create; uploads beyond it answer 429. 0 disables the quota (the
+	// global MaxGraphs bound always applies).
+	TenantMaxGraphs int
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request (request ID, method, path, status, class, API key,
+	// latency, bytes). nil disables request logging.
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +178,14 @@ type Server struct {
 	start   time.Time
 	healthy atomic.Bool
 
+	// Middleware state (middleware.go, ratelimit.go): request-ID
+	// generation, the optional access logger, and the per-API-key
+	// limiter (nil when no per-key limit is configured).
+	bootID  string
+	reqSeq  atomic.Uint64
+	logger  *slog.Logger
+	limiter *limiter
+
 	// Durability state (nil store = in-memory server). See persist.go.
 	store      *store.Store
 	recovery   store.RecoveryStats
@@ -184,6 +211,11 @@ func newServer(cfg Config) *Server {
 		build:   newGate(cfg.BuildSlots, cfg.BuildQueue),
 		query:   newGate(cfg.QuerySlots, cfg.QueryQueue),
 		start:   time.Now(),
+		bootID:  newBootID(),
+		limiter: newLimiter(cfg.RatePerKey, cfg.RateBurst, cfg.TenantMaxGraphs),
+	}
+	if cfg.AccessLog != nil {
+		s.logger = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
 	}
 	s.healthy.Store(true)
 	return s
@@ -198,14 +230,38 @@ func (s *Server) Cache() *server.SketchCache { return s.cache }
 // it before the listener closes.
 func (s *Server) SetHealthy(ok bool) { s.healthy.Store(ok) }
 
-// ServeHTTP routes the API surface documented in API.md.
+// ServeHTTP is the middleware entry point: every request — metered or
+// not — is wrapped once with a response recorder, a correlation ID on
+// the response header (set before any handler runs, so every error
+// path carries it), and a body cap, then routed; the access log line,
+// when enabled, is emitted after the handler returns.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rs := &responseState{ResponseWriter: w, status: http.StatusOK}
+	id := s.requestID(r)
+	rs.Header().Set(requestIDHeader, id)
+	if r.Body != nil {
+		// Capped before any parse: crossing MaxBodyBytes surfaces as a
+		// 413 from decodeBody, and no handler path reads an unbounded
+		// body (the over-limit upload e2e pins this).
+		r.Body = http.MaxBytesReader(rs, r.Body, s.cfg.MaxBodyBytes)
+	}
+	s.route(rs, r)
+	if s.logger != nil {
+		s.logRequest(r, rs, id, time.Since(start))
+	}
+}
+
+// route dispatches the API surface documented in API.md.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	path := r.URL.Path
 	switch {
 	case path == "/healthz":
 		s.handleHealthz(w, r)
 	case path == "/metrics":
 		s.handleMetrics(w, r)
+	case path == "/status":
+		s.handleStatus(w, r)
 	case path == "/v1/graphs":
 		switch r.Method {
 		case http.MethodGet:

@@ -8,6 +8,10 @@ package svc
 type ErrorResponse struct {
 	// Error is a human-readable description of what was rejected.
 	Error string `json:"error"`
+	// RequestID echoes the X-Request-Id response header so an error
+	// body pasted into a bug report correlates with the daemon's
+	// access log on its own.
+	RequestID string `json:"requestId,omitempty"`
 }
 
 // GraphInfo identifies one registered graph.
@@ -262,6 +266,17 @@ type RequestMetrics struct {
 	P99Ms float64 `json:"p99Ms"`
 }
 
+// KeyMetrics is one API key's admission ledger within /metrics,
+// present when per-key rate limits or tenant quotas are configured.
+type KeyMetrics struct {
+	// Allowed counts requests that passed the key's token bucket.
+	Allowed int64 `json:"allowed"`
+	// Limited counts requests shed with 429.
+	Limited int64 `json:"limited"`
+	// Graphs counts graphs this key created (the quota ledger).
+	Graphs int64 `json:"graphs"`
+}
+
 // StoreMetrics is the durability section of /metrics, present only for
 // persistent daemons.
 type StoreMetrics struct {
@@ -313,6 +328,9 @@ type MetricsSnapshot struct {
 	// Requests maps request class ("upload", "query", "sketch",
 	// "batch") to its ledger.
 	Requests map[string]RequestMetrics `json:"requests"`
+	// RateLimits maps API key to its admission ledger (present only
+	// when per-key limits are configured).
+	RateLimits map[string]KeyMetrics `json:"rateLimits,omitempty"`
 	// Store is the durability section (persistent daemons only).
 	Store *StoreMetrics `json:"store,omitempty"`
 }

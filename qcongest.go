@@ -136,9 +136,13 @@ type (
 	// Service is the daemon's state and http.Handler (mount on an
 	// http.Server, or on httptest for in-process use).
 	Service = svc.Server
-	// ServiceConfig tunes cache capacity, admission gates, and limits.
+	// ServiceConfig tunes cache capacity, admission gates, limits, and
+	// the observability surface (per-key rate limits and quotas,
+	// structured access logging — DESIGN.md §8.5).
 	ServiceConfig = svc.Config
-	// ServiceClient is the typed client of the qcongestd API.
+	// ServiceClient is the typed client of the qcongestd API. Set
+	// APIKey to attribute traffic to one tenant bucket, and
+	// RequireRequestID to assert the X-Request-Id contract per call.
 	ServiceClient = svc.Client
 	// GraphInfo identifies one registered graph (digest, n, m, W).
 	GraphInfo = svc.GraphInfo
@@ -152,8 +156,10 @@ type (
 	BatchRequest = svc.BatchRequest
 	// BatchResponse is the per-graph batch outcome.
 	BatchResponse = svc.BatchResponse
-	// ServiceMetrics is the /metrics snapshot (cache hit rate, latency
-	// quantiles, admission occupancy).
+	// ServiceMetrics is the /metrics JSON snapshot (cache hit rate,
+	// latency quantiles, admission occupancy, per-key rate-limit
+	// ledgers). The same endpoint also serves the Prometheus text
+	// exposition under content negotiation — see API.md "GET /metrics".
 	ServiceMetrics = svc.MetricsSnapshot
 )
 
