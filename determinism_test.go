@@ -13,8 +13,13 @@
 // every KernelMode × worker-count cell must reproduce the sparse
 // sequential numerators byte for byte (direct builds over the E-family
 // plus adversarial shapes, and the skeleton-heavy drivers via
-// dist.DefaultKernelMode). CI runs this file with -count=3 under the
-// `determinism` and `kernel-differential` jobs.
+// dist.DefaultKernelMode); Part E extends it over the wire codecs:
+// a graph decoded from the text edge list and from the binary
+// varint-delta format must be indistinguishable — same digest, same
+// exact eccentricities, byte-identical sketch numerators — so the
+// serving layer may accept either encoding of a graph and answer from
+// either without the caller being able to tell. CI runs this file with
+// -count=3 under the `determinism` and `kernel-differential` jobs.
 package qcongest_test
 
 import (
@@ -336,6 +341,72 @@ func TestDeterminismKernelModes(t *testing.T) {
 						gi, mode, workers)
 				}
 			}
+		}
+	}
+}
+
+// TestDeterminismCodecParity is Part E: the cross-codec differential
+// suite. Every corpus graph (the Part D kernel-adversarial family plus
+// a scrambled-insertion-order shape that forces the binary codec's
+// permutation section) is round-tripped through both wire codecs, and
+// the three copies — original, text-decoded, binary-decoded — must
+// agree on the digest, the exact eccentricity vector, and the full
+// sketch-numerator vector. Because sketches are cached by digest, any
+// codec divergence here would poison answers served for the other
+// encoding of the same graph.
+func TestDeterminismCodecParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	corpus := kernelDeterminismGraphs()
+	scrambled := graph.New(48)
+	type raw struct {
+		u, v int
+		w    int64
+	}
+	var pending []raw
+	for v := 1; v < 48; v++ {
+		pending = append(pending, raw{rng.Intn(v), v, 1 + rng.Int63n(50)})
+	}
+	rng.Shuffle(len(pending), func(i, j int) { pending[i], pending[j] = pending[j], pending[i] })
+	for _, e := range pending {
+		scrambled.MustAddEdge(e.u, e.v, e.w)
+	}
+	corpus = append(corpus, scrambled)
+
+	sketchNumerators := func(g *graph.Graph) []int64 {
+		var s []int
+		for v := 0; v < g.N(); v += 3 {
+			s = append(s, v)
+		}
+		sk := dist.BuildSkeletonWith(g, s, g.N()/2, 2, dist.EpsForN(g.N()), dist.BuildSkeletonOpts{})
+		eccs := make([]int64, g.N())
+		for v := range eccs {
+			eccs[v] = sk.ApproxEccentricity(v)
+		}
+		sk.Release()
+		return eccs
+	}
+
+	for gi, g := range corpus {
+		fromText, err := graph.ParseEdgeList(graph.FormatEdgeList(g))
+		if err != nil {
+			t.Fatalf("graph %d: text round trip: %v", gi, err)
+		}
+		fromBin, err := graph.ParseBinary(graph.FormatBinary(g))
+		if err != nil {
+			t.Fatalf("graph %d: binary round trip: %v", gi, err)
+		}
+		if fromText.Digest() != g.Digest() || fromBin.Digest() != g.Digest() {
+			t.Errorf("graph %d: digest diverges across codecs (orig %x, text %x, binary %x)",
+				gi, g.Digest(), fromText.Digest(), fromBin.Digest())
+			continue
+		}
+		refEcc := g.Eccentricities()
+		if !reflect.DeepEqual(fromText.Eccentricities(), refEcc) || !reflect.DeepEqual(fromBin.Eccentricities(), refEcc) {
+			t.Errorf("graph %d: exact eccentricities diverge across codecs", gi)
+		}
+		refSketch := sketchNumerators(g)
+		if !reflect.DeepEqual(sketchNumerators(fromText), refSketch) || !reflect.DeepEqual(sketchNumerators(fromBin), refSketch) {
+			t.Errorf("graph %d: sketch numerators diverge across codecs", gi)
 		}
 	}
 }

@@ -1,0 +1,406 @@
+package graph
+
+// This file is the binary wire codec: the compact counterpart of the
+// text edge list in encode.go, used by the raw upload path of
+// internal/svc (Content-Type application/x-qcongest-graph) and by the
+// durable store's graph records (internal/store). Layout:
+//
+//	magic    4 bytes  f1 'Q' 'C' 'G'  (0xf1 is non-ASCII on purpose:
+//	                  a text parser fed binary fails on byte one)
+//	version  1 byte   BinaryVersion
+//	n        uvarint  node count
+//	m        uvarint  undirected-edge count
+//	flags    1 byte   bit 0: permutation section present
+//	permutation       m uvarints, zigzag(i_j - j), where CSR edge j is
+//	                  insertion edge i_j. Present only when the
+//	                  insertion order differs from CSR order — Digest
+//	                  hashes edges in insertion order, so the codec
+//	                  must round-trip it exactly, not just the edge
+//	                  set. Stored CSR-to-insertion (not the inverse)
+//	                  and ahead of the adjacency stream so the decoder
+//	                  can write each CSR edge straight into its
+//	                  insertion slot — one edge array, no gather pass.
+//	adjacency         for each node u = 0..n-1, CSR order by the lower
+//	                  endpoint: uvarint edge count, then per edge
+//	                  (neighbors ascending) uvarint delta-of-v and
+//	                  uvarint zigzag(w). The first delta is v-u (>= 1,
+//	                  so a self loop is unrepresentable); later deltas
+//	                  are v-prev (>= 0: parallel edges encode as 0).
+//	crc32    4 bytes  IEEE, little-endian, over every preceding byte.
+//
+// Everything after magic+version+n+m is the "body"; the prefix is
+// fixed-position so a decoder can enforce node/edge limits — and bound
+// every later allocation — before reading another byte.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+)
+
+// BinaryVersion is the current binary wire-format version, written by
+// FormatBinary and the only version ParseBinary accepts.
+const BinaryVersion = 1
+
+// binaryMagic opens every binary-codec graph. The first byte is
+// non-ASCII so the text parser (and the store's payload sniffer) can
+// never mistake one codec for the other.
+var binaryMagic = [4]byte{0xf1, 'Q', 'C', 'G'}
+
+const (
+	binFlagPerm   = 0x01 // permutation section present
+	binPrefixMax  = 4 + 1 + 2*binary.MaxVarintLen64
+	binTrailerLen = 4
+)
+
+// IsBinary reports whether data begins with the binary codec's magic —
+// the disambiguation the durable store uses to replay mixed-codec
+// records (text payloads start with 'v', 'n', or '#').
+func IsBinary(data []byte) bool {
+	return len(data) >= len(binaryMagic) && bytes.Equal(data[:len(binaryMagic)], binaryMagic[:])
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// FormatBinary renders g in the binary wire format. The output parses
+// back (ParseBinary) to a graph with the same node count, the same
+// edges in the same insertion order — and therefore the same Digest
+// and the same adjacency order, which the CONGEST simulation's message
+// schedule depends on.
+func FormatBinary(g *Graph) []byte {
+	n, m := g.n, len(g.edges)
+	// CSR order: by (U, V) ascending, insertion-stable among equal
+	// pairs. Generators that emit edges node by node are already
+	// sorted, which drops the permutation section entirely.
+	sorted := true
+	for i := 1; i < m; i++ {
+		a, b := g.edges[i-1], g.edges[i]
+		if a.U > b.U || (a.U == b.U && a.V > b.V) {
+			sorted = false
+			break
+		}
+	}
+	order := make([]int32, m)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	if !sorted {
+		sort.Slice(order, func(i, j int) bool {
+			a, b := g.edges[order[i]], g.edges[order[j]]
+			if a.U != b.U {
+				return a.U < b.U
+			}
+			if a.V != b.V {
+				return a.V < b.V
+			}
+			return order[i] < order[j]
+		})
+	}
+
+	// Typical footprint: 1-byte counts, 1-3-byte deltas, 1-2-byte
+	// weights; append grows past the estimate when weights are huge.
+	est := binPrefixMax + 1 + binTrailerLen + 2*n + 7*m
+	if !sorted {
+		est += 4 * m
+	}
+	buf := make([]byte, 0, est)
+	buf = append(buf, binaryMagic[:]...)
+	buf = append(buf, BinaryVersion)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	buf = binary.AppendUvarint(buf, uint64(m))
+	var flags byte
+	if !sorted {
+		flags |= binFlagPerm
+	}
+	buf = append(buf, flags)
+
+	if !sorted {
+		// order[j] is the insertion index of CSR edge j; the deltas
+		// against j keep near-sorted insertion orders to a byte or two.
+		for j, idx := range order {
+			buf = binary.AppendUvarint(buf, zigzag(int64(idx)-int64(j)))
+		}
+	}
+	i := 0
+	for u := 0; u < n; u++ {
+		start := i
+		for i < m && g.edges[order[i]].U == u {
+			i++
+		}
+		buf = binary.AppendUvarint(buf, uint64(i-start))
+		prev := u
+		for j := start; j < i; j++ {
+			e := g.edges[order[j]]
+			buf = binary.AppendUvarint(buf, uint64(e.V-prev))
+			buf = binary.AppendUvarint(buf, zigzag(e.W))
+			prev = e.V
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// ParseBinary parses the binary wire format produced by FormatBinary.
+func ParseBinary(data []byte) (*Graph, error) {
+	return ParseBinaryLimits(data, 0, 0)
+}
+
+// ParseBinaryLimits is ParseBinary with hard size bounds checked from
+// the header prefix before anything proportional to the graph is
+// allocated; limits <= 0 are unbounded. Even unbounded, allocation is
+// capped by the input: a valid body carries at least one byte per node
+// and two per edge, so a corrupt few-byte header cannot request an
+// enormous graph (pinned by FuzzBinaryCodec).
+func ParseBinaryLimits(data []byte, maxNodes, maxEdges int) (*Graph, error) {
+	if err := checkBinaryHeader(data); err != nil {
+		return nil, err
+	}
+	off := len(binaryMagic) + 1
+	un, k := binary.Uvarint(data[off:])
+	if k <= 0 {
+		return nil, fmt.Errorf("graph: binary header: truncated node count")
+	}
+	off += k
+	um, k := binary.Uvarint(data[off:])
+	if k <= 0 {
+		return nil, fmt.Errorf("graph: binary header: truncated edge count")
+	}
+	off += k
+	n, m, err := checkBinarySizes(un, um, maxNodes, maxEdges)
+	if err != nil {
+		return nil, err
+	}
+	body := data[off:]
+	if int64(len(body)) < 1+int64(n)+2*int64(m)+binTrailerLen {
+		return nil, fmt.Errorf("graph: binary body of %d bytes is too short for n=%d m=%d", len(body), n, m)
+	}
+	return parseBinaryBody(data[:off], body, n, m)
+}
+
+// DecodeBinary reads one binary-codec graph from r: the header prefix
+// is framed and size-checked first — before anything proportional to
+// the graph is read or allocated — then the remaining body (bounded by
+// the format's worst case for the declared n and m) is read and
+// decoded in place with the checksum verified over the whole stream.
+func DecodeBinary(r io.Reader, maxNodes, maxEdges int) (*Graph, error) {
+	var prefix [binPrefixMax]byte
+	if _, err := io.ReadFull(r, prefix[:len(binaryMagic)+1]); err != nil {
+		return nil, fmt.Errorf("graph: reading binary header: %w", err)
+	}
+	if err := checkBinaryHeader(prefix[:len(binaryMagic)+1]); err != nil {
+		return nil, err
+	}
+	plen := len(binaryMagic) + 1
+	readUvarint := func(what string) (uint64, error) {
+		var x uint64
+		var s uint
+		for i := 0; ; i++ {
+			if plen == len(prefix) || i == binary.MaxVarintLen64 {
+				return 0, fmt.Errorf("graph: binary header: %s overflows", what)
+			}
+			if _, err := io.ReadFull(r, prefix[plen:plen+1]); err != nil {
+				return 0, fmt.Errorf("graph: binary header: truncated %s: %w", what, err)
+			}
+			b := prefix[plen]
+			plen++
+			if b < 0x80 {
+				if i == binary.MaxVarintLen64-1 && b > 1 {
+					return 0, fmt.Errorf("graph: binary header: %s overflows", what)
+				}
+				return x | uint64(b)<<s, nil
+			}
+			x |= uint64(b&0x7f) << s
+			s += 7
+		}
+	}
+	un, err := readUvarint("node count")
+	if err != nil {
+		return nil, err
+	}
+	um, err := readUvarint("edge count")
+	if err != nil {
+		return nil, err
+	}
+	n, m, err := checkBinarySizes(un, um, maxNodes, maxEdges)
+	if err != nil {
+		return nil, err
+	}
+	// The body cannot legitimately exceed the per-field varint maxima,
+	// so the read is bounded by the already-validated n and m.
+	bound := int64(1) + binTrailerLen +
+		int64(n)*binary.MaxVarintLen64 + 3*int64(m)*binary.MaxVarintLen64
+	body, err := io.ReadAll(io.LimitReader(r, bound+1))
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading binary body: %w", err)
+	}
+	if int64(len(body)) > bound {
+		return nil, fmt.Errorf("graph: binary body exceeds the format bound for n=%d m=%d", n, m)
+	}
+	if int64(len(body)) < 1+int64(n)+2*int64(m)+binTrailerLen {
+		return nil, fmt.Errorf("graph: binary body of %d bytes is too short for n=%d m=%d", len(body), n, m)
+	}
+	return parseBinaryBody(prefix[:plen], body, n, m)
+}
+
+// checkBinaryHeader validates the fixed magic + version prefix.
+func checkBinaryHeader(data []byte) error {
+	if len(data) < len(binaryMagic)+1 {
+		return fmt.Errorf("graph: binary input of %d bytes is shorter than the header", len(data))
+	}
+	if !IsBinary(data) {
+		return fmt.Errorf("graph: bad binary magic % x", data[:len(binaryMagic)])
+	}
+	if v := data[len(binaryMagic)]; v != BinaryVersion {
+		return fmt.Errorf("graph: unsupported binary graph version %d (this build reads version %d)", v, BinaryVersion)
+	}
+	return nil
+}
+
+// checkBinarySizes enforces the node/edge limits straight off the
+// header — the "exceeds limit" phrasing is load-bearing: the serving
+// layer maps it to 413.
+func checkBinarySizes(un, um uint64, maxNodes, maxEdges int) (n, m int, err error) {
+	if un > math.MaxInt32 {
+		return 0, 0, fmt.Errorf("graph: binary node count %d out of range", un)
+	}
+	if um > math.MaxInt32/2 {
+		return 0, 0, fmt.Errorf("graph: binary edge count %d out of range", um)
+	}
+	if maxNodes > 0 && un > uint64(maxNodes) {
+		return 0, 0, fmt.Errorf("graph: node count %d exceeds limit %d", un, maxNodes)
+	}
+	if maxEdges > 0 && um > uint64(maxEdges) {
+		return 0, 0, fmt.Errorf("graph: edge count %d exceeds limit %d", um, maxEdges)
+	}
+	return int(un), int(um), nil
+}
+
+// parseBinaryBody decodes flags + adjacency + permutation + checksum.
+// prefix is the already-consumed header (hashed into the checksum);
+// body is everything after it, ending in the 4-byte CRC. n and m are
+// already limit-checked, so every allocation below is admitted.
+func parseBinaryBody(prefix, body []byte, n, m int) (*Graph, error) {
+	// Checksum first: every later validation assumes intact bytes.
+	stored := binary.LittleEndian.Uint32(body[len(body)-binTrailerLen:])
+	sum := crc32.ChecksumIEEE(prefix)
+	sum = crc32.Update(sum, crc32.IEEETable, body[:len(body)-binTrailerLen])
+	if sum != stored {
+		return nil, fmt.Errorf("graph: binary checksum mismatch (computed %08x, stored %08x)", sum, stored)
+	}
+	sec := body[:len(body)-binTrailerLen]
+	flags := sec[0]
+	if flags&^byte(binFlagPerm) != 0 {
+		return nil, fmt.Errorf("graph: unknown binary flags %#02x", flags)
+	}
+	off := 1
+
+	// Inverse permutation first (when present): inv[j] is the insertion
+	// slot of CSR edge j, so the adjacency decode below writes every
+	// edge straight into insertion order — one edge array, no staging
+	// buffer, no gather pass over it afterwards.
+	var inv []int32
+	if flags&binFlagPerm != 0 {
+		inv = make([]int32, m)
+		// Duplicate detection lives here, on a bitset that stays
+		// cache-resident, so the scatter writes below never have to
+		// read the (much larger) edge array before storing into it.
+		seen := make([]uint64, (m+63)/64)
+		for j := 0; j < m; j++ {
+			pz, k := binary.Uvarint(sec[off:])
+			if k <= 0 {
+				return nil, fmt.Errorf("graph: binary permutation truncated at entry %d", j)
+			}
+			off += k
+			p := int64(j) + unzigzag(pz)
+			if p < 0 || p >= int64(m) || seen[p>>6]&(1<<(p&63)) != 0 {
+				return nil, fmt.Errorf("graph: binary permutation entry %d is not a permutation of [0,%d)", j, m)
+			}
+			seen[p>>6] |= 1 << (p & 63)
+			inv[j] = int32(p)
+		}
+	}
+
+	// Adjacency: decode the CSR edge stream. Validation reproduces
+	// AddEdge's exactly (range, no self loops, w >= 1), so a decoded
+	// graph is structurally indistinguishable from a built one.
+	// Degrees are tallied in the same pass (the CSR count gives one
+	// endpoint in bulk), sparing the adjacency build a full re-read of
+	// the edge array.
+	edges := make([]Edge, m)
+	deg := make([]int32, n)
+	// With no permutation, decode order IS insertion order, so the
+	// digest folds into this loop for free: its serial multiply chain
+	// hides behind the varint decoding. Permuted streams hash in a
+	// separate pass below once the edges land in insertion order.
+	h := digestInit(n)
+	idx := 0
+	for u := 0; u < n; u++ {
+		cnt, k := binary.Uvarint(sec[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("graph: binary adjacency truncated at node %d", u)
+		}
+		off += k
+		if cnt > uint64(m-idx) {
+			return nil, fmt.Errorf("graph: binary adjacency counts exceed edge count %d", m)
+		}
+		v := u
+		for c := uint64(0); c < cnt; c++ {
+			dv, k := binary.Uvarint(sec[off:])
+			if k <= 0 {
+				return nil, fmt.Errorf("graph: binary edge truncated at node %d", u)
+			}
+			off += k
+			if dv > uint64(n) {
+				return nil, fmt.Errorf("graph: binary edge delta %d out of range at node %d", dv, u)
+			}
+			v += int(dv)
+			if v <= u || v >= n {
+				return nil, fmt.Errorf("graph: binary edge {%d,%d} out of range [%d,%d)", u, v, u+1, n)
+			}
+			wz, k := binary.Uvarint(sec[off:])
+			if k <= 0 {
+				return nil, fmt.Errorf("graph: binary weight truncated at edge {%d,%d}", u, v)
+			}
+			off += k
+			w := unzigzag(wz)
+			if w < 1 {
+				return nil, fmt.Errorf("graph: binary edge {%d,%d} has non-positive weight %d", u, v, w)
+			}
+			e := Edge{U: u, V: v, W: w}
+			if inv != nil {
+				edges[inv[idx]] = e
+			} else {
+				edges[idx] = e
+				h = digestMixEdge(h, e)
+			}
+			deg[v]++
+			idx++
+		}
+		deg[u] += int32(cnt)
+	}
+	if idx != m {
+		return nil, fmt.Errorf("graph: binary adjacency counts sum to %d, want m=%d", idx, m)
+	}
+	if off != len(sec) {
+		return nil, fmt.Errorf("graph: %d trailing bytes after binary graph", len(sec)-off)
+	}
+
+	if inv != nil {
+		for _, e := range edges {
+			h = digestMixEdge(h, e)
+		}
+	}
+
+	// Adjacency is deferred: the decoder hands the edge list and degree
+	// tally to newDeferred and the first adjacency read builds the arc
+	// arena (exactly as m AddEdge calls in insertion order would, but as
+	// one allocation). Uploads and store replays that never get queried
+	// never pay for it.
+	g := newDeferred(n, edges, deg)
+	g.digestVal, g.digestOK = h, true
+	return g, nil
+}

@@ -1,0 +1,273 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/iotest"
+)
+
+// binaryTestGraphs is the round-trip corpus: every generator family
+// plus the adversarial insertion orders the permutation section exists
+// for (shuffled edges, parallel edges, extreme weights).
+func binaryTestGraphs(t *testing.T) map[string]*Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	shuffled := New(32)
+	perm := rng.Perm(31)
+	for _, i := range perm {
+		shuffled.MustAddEdge(i, i+1, int64(1+rng.Intn(100)))
+	}
+	parallel := New(4)
+	parallel.MustAddEdge(0, 1, 3)
+	parallel.MustAddEdge(1, 0, 7) // parallel copy, reversed endpoints
+	parallel.MustAddEdge(0, 1, 3) // exact duplicate
+	parallel.MustAddEdge(2, 3, 1)
+	extreme := New(3)
+	extreme.MustAddEdge(0, 2, math.MaxInt64)
+	extreme.MustAddEdge(0, 1, 1)
+	return map[string]*Graph{
+		"empty":    New(0),
+		"edgeless": New(5),
+		"path":     Path(17),
+		"star":     Star(9),
+		"grid":     Grid(5, 7),
+		"complete": Complete(8),
+		"barbell":  Barbell(6, 4),
+		"spine":    SpineLeaf(3, 4, 5, 2, 7),
+		"random":   RandomWeights(RandomConnected(64, 200, rng), 1000, rng),
+		"expander": RandomWeights(LowDiameterExpanderish(64, 4, rng), 100, rng),
+		"shuffled": shuffled,
+		"parallel": parallel,
+		"extreme":  extreme,
+	}
+}
+
+// TestBinaryRoundTrip checks that FormatBinary/ParseBinary preserve the
+// node count, every edge in insertion order (hence the digest), and the
+// exact adjacency-list order the CONGEST schedule iterates.
+func TestBinaryRoundTrip(t *testing.T) {
+	for name, g := range binaryTestGraphs(t) {
+		wire := FormatBinary(g)
+		if !IsBinary(wire) {
+			t.Fatalf("%s: encode does not start with the binary magic", name)
+		}
+		got, err := ParseBinary(wire)
+		if err != nil {
+			t.Fatalf("%s: round trip failed: %v", name, err)
+		}
+		if got.N() != g.N() || got.M() != g.M() {
+			t.Fatalf("%s: round trip changed shape: (%d,%d) != (%d,%d)", name, got.N(), got.M(), g.N(), g.M())
+		}
+		if got.Digest() != g.Digest() {
+			t.Fatalf("%s: round trip changed digest: %x != %x", name, got.Digest(), g.Digest())
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("%s: decoded graph invalid: %v", name, err)
+		}
+		if !reflect.DeepEqual(got.Edges(), g.Edges()) && !(got.M() == 0 && g.M() == 0) {
+			t.Fatalf("%s: edge list changed: %v != %v", name, got.Edges(), g.Edges())
+		}
+		for u := 0; u < g.N(); u++ {
+			a, b := got.Neighbors(u), g.Neighbors(u)
+			if len(a) != len(b) || (len(a) > 0 && !reflect.DeepEqual(a, b)) {
+				t.Fatalf("%s: adjacency of %d changed: %v != %v", name, u, a, b)
+			}
+		}
+	}
+}
+
+// TestBinaryFootprint pins the size win: a generator-ordered graph
+// (sorted insertion, no permutation section) costs <= 5 bytes/edge at
+// small weights, and even a randomly-ordered graph stays well under
+// half the text codec.
+func TestBinaryFootprint(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sorted := RandomWeights(LowDiameterExpanderish(4096, 8, rng), 16, rng)
+	bin, txt := FormatBinary(sorted), FormatEdgeList(sorted)
+	perEdge := float64(len(bin)) / float64(sorted.M())
+	t.Logf("sorted: %d edges, binary %.2f B/edge, text %.2f B/edge",
+		sorted.M(), perEdge, float64(len(txt))/float64(sorted.M()))
+	if perEdge > 5 {
+		t.Fatalf("sorted-order binary footprint %.2f B/edge exceeds the 5 B/edge target", perEdge)
+	}
+	// Random insertion order pays ~log2(m)/8*2 extra bytes/edge for the
+	// permutation (near the entropy bound for an arbitrary order) but
+	// must still beat text by a wide margin.
+	shuffled := New(4096)
+	edges := append([]Edge(nil), sorted.Edges()...)
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for _, e := range edges {
+		shuffled.MustAddEdge(e.U, e.V, e.W)
+	}
+	sbin, stxt := FormatBinary(shuffled), FormatEdgeList(shuffled)
+	t.Logf("shuffled: binary %.2f B/edge, text %.2f B/edge",
+		float64(len(sbin))/float64(shuffled.M()), float64(len(stxt))/float64(shuffled.M()))
+	if len(sbin)*2 >= len(stxt) {
+		t.Fatalf("shuffled binary (%d B) not under half of text (%d B)", len(sbin), len(stxt))
+	}
+}
+
+// TestBinaryErrors checks that corrupt and adversarial inputs fail with
+// the right diagnostics and that size limits reject straight off the
+// header prefix.
+func TestBinaryErrors(t *testing.T) {
+	valid := FormatBinary(Path(10))
+	flip := func(i int) []byte {
+		b := append([]byte(nil), valid...)
+		b[i] ^= 0x40
+		return b
+	}
+	for _, tc := range []struct {
+		name string
+		in   []byte
+		want string
+	}{
+		{"empty", nil, "shorter than the header"},
+		{"bad magic", flip(0), "bad binary magic"},
+		{"text input", []byte("n 3\n0 1 2\n"), "bad binary magic"},
+		{"bad version", flip(4), "unsupported binary graph version"},
+		{"flipped body byte", flip(10), "checksum mismatch"},
+		{"flipped crc", flip(len(valid) - 1), "checksum mismatch"},
+		{"truncated", valid[:len(valid)-3], "too short"},
+	} {
+		_, err := ParseBinary(tc.in)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Limits reject from the header prefix, with the "exceeds limit"
+	// phrasing the serving layer maps to 413.
+	big := FormatBinary(Path(1000))
+	if _, err := ParseBinaryLimits(big, 10, 0); err == nil || !strings.Contains(err.Error(), "node count 1000 exceeds limit 10") {
+		t.Fatalf("node limit: %v", err)
+	}
+	if _, err := ParseBinaryLimits(big, 0, 8); err == nil || !strings.Contains(err.Error(), "edge count 999 exceeds limit 8") {
+		t.Fatalf("edge limit: %v", err)
+	}
+}
+
+// TestBinaryLimitsAllocGuard pins the allocation-bounded-decode
+// contract: rejecting an over-limit body never allocates anything
+// proportional to the declared graph, however large the body is.
+func TestBinaryLimitsAllocGuard(t *testing.T) {
+	big := FormatBinary(Path(200_000))
+	overNodes := testing.AllocsPerRun(10, func() {
+		if _, err := ParseBinaryLimits(big, 10, 0); err == nil {
+			t.Fatal("expected the node limit to reject")
+		}
+	})
+	if overNodes > 8 {
+		t.Fatalf("node-limit rejection cost %.0f allocations, want O(1)", overNodes)
+	}
+	overEdges := testing.AllocsPerRun(10, func() {
+		if _, err := ParseBinaryLimits(big, 0, 8); err == nil {
+			t.Fatal("expected the edge limit to reject")
+		}
+	})
+	if overEdges > 8 {
+		t.Fatalf("edge-limit rejection cost %.0f allocations, want O(1)", overEdges)
+	}
+}
+
+// TestDecodeBinaryStream checks the streaming decoder: identical result
+// to the buffer parser byte-for-byte of input, limits enforced from the
+// framed header before the body is read, truncation diagnosed.
+func TestDecodeBinaryStream(t *testing.T) {
+	for name, g := range binaryTestGraphs(t) {
+		wire := FormatBinary(g)
+		got, err := DecodeBinary(iotest.OneByteReader(bytes.NewReader(wire)), 0, 0)
+		if err != nil {
+			t.Fatalf("%s: stream decode: %v", name, err)
+		}
+		if got.Digest() != g.Digest() {
+			t.Fatalf("%s: stream decode changed digest", name)
+		}
+	}
+	big := FormatBinary(Path(1000))
+	if _, err := DecodeBinary(bytes.NewReader(big), 10, 0); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("node limit over stream: %v", err)
+	}
+	if _, err := DecodeBinary(bytes.NewReader(big[:20]), 0, 0); err == nil {
+		t.Fatal("truncated stream decoded")
+	}
+	if _, err := DecodeBinary(strings.NewReader("n 3\n0 1 2\n"), 0, 0); err == nil || !strings.Contains(err.Error(), "bad binary magic") {
+		t.Fatalf("text over the binary decoder: %v", err)
+	}
+	// Trailing bytes after a complete graph are a framing error, not
+	// silently ignored (the store frames records itself; the upload
+	// path must reject concatenations).
+	if _, err := DecodeBinary(bytes.NewReader(append(append([]byte(nil), big...), 0xff)), 0, 0); err == nil {
+		t.Fatal("trailing byte after the checksum decoded cleanly")
+	}
+}
+
+// TestBinaryTextParity is the differential check at the graph layer:
+// both codecs of the same graph decode to the same digest and the same
+// exact eccentricity vector. (The sketch-numerator leg lives in the
+// root determinism suite, Part E.)
+func TestBinaryTextParity(t *testing.T) {
+	for name, g := range binaryTestGraphs(t) {
+		if g.N() == 0 {
+			continue
+		}
+		fromText, err := ParseEdgeList(FormatEdgeList(g))
+		if err != nil {
+			t.Fatalf("%s: text: %v", name, err)
+		}
+		fromBin, err := ParseBinary(FormatBinary(g))
+		if err != nil {
+			t.Fatalf("%s: binary: %v", name, err)
+		}
+		if fromText.Digest() != fromBin.Digest() {
+			t.Fatalf("%s: digest diverges across codecs", name)
+		}
+		if !reflect.DeepEqual(fromText.Eccentricities(), fromBin.Eccentricities()) {
+			t.Fatalf("%s: eccentricities diverge across codecs", name)
+		}
+	}
+}
+
+// FuzzBinaryCodec feeds arbitrary bytes to the limited parser: it must
+// never panic, never allocate past the limits, and on success produce a
+// valid graph whose re-encode round-trips to the same digest — and the
+// streaming decoder must agree with the buffer parser on every input.
+func FuzzBinaryCodec(f *testing.F) {
+	for _, g := range []*Graph{New(0), Path(5), SpineLeaf(2, 3, 2, 1, 2), Complete(4)} {
+		f.Add(FormatBinary(g))
+	}
+	shuffled := New(8)
+	shuffled.MustAddEdge(5, 6, 2)
+	shuffled.MustAddEdge(0, 3, 9)
+	shuffled.MustAddEdge(0, 1, 1)
+	f.Add(FormatBinary(shuffled))
+	f.Add([]byte{0xf1, 'Q', 'C', 'G', 1, 5, 3})
+	f.Add([]byte("n 3\n0 1 2\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ParseBinaryLimits(data, 1<<12, 1<<14)
+		sg, serr := DecodeBinary(bytes.NewReader(data), 1<<12, 1<<14)
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("buffer and stream disagree: %v vs %v", err, serr)
+		}
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("decoded graph invalid: %v", verr)
+		}
+		if g.Digest() != sg.Digest() {
+			t.Fatalf("buffer and stream digests diverge")
+		}
+		re, rerr := ParseBinary(FormatBinary(g))
+		if rerr != nil {
+			t.Fatalf("re-encode failed to parse: %v", rerr)
+		}
+		if re.Digest() != g.Digest() {
+			t.Fatalf("re-encode changed digest")
+		}
+	})
+}

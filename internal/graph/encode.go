@@ -23,11 +23,12 @@ package graph
 // being misread as edges.
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
+	"io"
 	"math"
 	"strconv"
-	"strings"
 )
 
 // EdgeListVersion is the current edge-list wire-format version, written
@@ -50,25 +51,26 @@ func FormatEdgeListVersioned(g *Graph) []byte {
 }
 
 func formatEdgeList(g *Graph, versioned bool) []byte {
-	var b strings.Builder
-	b.Grow(20 + 24*len(g.edges))
+	// Build straight into the returned slice: a strings.Builder here
+	// would cost one extra full-buffer copy at the []byte conversion.
+	b := make([]byte, 0, 20+24*len(g.edges))
 	if versioned {
-		b.WriteString("v ")
-		b.WriteString(strconv.Itoa(EdgeListVersion))
-		b.WriteByte('\n')
+		b = append(b, 'v', ' ')
+		b = strconv.AppendInt(b, EdgeListVersion, 10)
+		b = append(b, '\n')
 	}
-	b.WriteString("n ")
-	b.WriteString(strconv.Itoa(g.n))
-	b.WriteByte('\n')
+	b = append(b, 'n', ' ')
+	b = strconv.AppendInt(b, int64(g.n), 10)
+	b = append(b, '\n')
 	for _, e := range g.edges {
-		b.WriteString(strconv.Itoa(e.U))
-		b.WriteByte(' ')
-		b.WriteString(strconv.Itoa(e.V))
-		b.WriteByte(' ')
-		b.WriteString(strconv.FormatInt(e.W, 10))
-		b.WriteByte('\n')
+		b = strconv.AppendInt(b, int64(e.U), 10)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, int64(e.V), 10)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, e.W, 10)
+		b = append(b, '\n')
 	}
-	return []byte(b.String())
+	return b
 }
 
 // ParseEdgeList parses the edge-list wire format produced by
@@ -91,8 +93,7 @@ func ParseEdgeList(data []byte) (*Graph, error) {
 // allocations however large its body is (pinned by
 // TestParseEdgeListAllocGuard).
 func ParseEdgeListLimits(data []byte, maxNodes, maxEdges int) (*Graph, error) {
-	var g *Graph
-	sawVersion := false
+	p := edgeListParser{maxNodes: maxNodes, maxEdges: maxEdges}
 	for lineNo := 1; len(data) > 0; lineNo++ {
 		line := data
 		if i := bytes.IndexByte(data, '\n'); i >= 0 {
@@ -100,72 +101,165 @@ func ParseEdgeListLimits(data []byte, maxNodes, maxEdges int) (*Graph, error) {
 		} else {
 			data = nil
 		}
-		if i := bytes.IndexByte(line, '#'); i >= 0 {
-			line = line[:i]
+		if err := p.line(lineNo, line); err != nil {
+			return nil, err
 		}
-		f0, rest := nextField(line)
-		if len(f0) == 0 {
-			continue
+	}
+	return p.finish()
+}
+
+// DecodeEdgeList reads one edge-list graph from r with the same
+// grammar, limits, and line-numbered errors as ParseEdgeListLimits, but
+// streaming: one bufio window of the input is resident at a time, so an
+// arbitrarily large upload never buffers whole in memory. Lines longer
+// than the window (64 KiB — a valid line is under 70 bytes) are
+// rejected rather than silently split.
+func DecodeEdgeList(r io.Reader, maxNodes, maxEdges int) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	p := edgeListParser{maxNodes: maxNodes, maxEdges: maxEdges}
+	for lineNo := 1; ; lineNo++ {
+		line, err := br.ReadSlice('\n')
+		// ErrBufferFull first: the returned prefix is NOT a whole line
+		// and must never reach the parser looking like one.
+		if err == bufio.ErrBufferFull {
+			return nil, fmt.Errorf("graph: line %d: line exceeds %d bytes", lineNo, br.Size())
 		}
-		f1, rest := nextField(rest)
-		f2, rest := nextField(rest)
-		extra, _ := nextField(rest)
-		nf := 1
-		switch {
-		case len(extra) > 0:
-			nf = 4 // "too many fields" marker; exact count never matters
-		case len(f2) > 0:
-			nf = 3
-		case len(f1) > 0:
-			nf = 2
-		}
-		if g == nil && !sawVersion && len(f0) == 1 && f0[0] == 'v' {
-			if nf != 2 {
-				return nil, fmt.Errorf("graph: line %d: expected version header \"v <version>\", got %q", lineNo, line)
+		if len(line) > 0 {
+			if line[len(line)-1] == '\n' {
+				line = line[:len(line)-1]
 			}
-			ver, ok := atoiBytes(f1)
-			if !ok {
-				return nil, fmt.Errorf("graph: line %d: bad version %q", lineNo, f1)
+			if perr := p.line(lineNo, line); perr != nil {
+				return nil, perr
 			}
-			if ver != EdgeListVersion {
-				return nil, fmt.Errorf("graph: line %d: unsupported edge-list version %d (this build reads version %d)", lineNo, ver, EdgeListVersion)
-			}
-			sawVersion = true
-			continue
 		}
-		if g == nil {
-			if nf != 2 || len(f0) != 1 || f0[0] != 'n' {
-				return nil, fmt.Errorf("graph: line %d: expected header \"n <nodes>\", got %q", lineNo, line)
-			}
-			n, ok := atoiBytes(f1)
-			if !ok || n < 0 || n > math.MaxInt {
-				return nil, fmt.Errorf("graph: line %d: bad node count %q", lineNo, f1)
-			}
-			if maxNodes > 0 && n > int64(maxNodes) {
-				return nil, fmt.Errorf("graph: line %d: node count %d exceeds limit %d", lineNo, n, maxNodes)
-			}
-			g = New(int(n))
-			continue
+		if err == io.EOF {
+			return p.finish()
 		}
-		if nf != 3 {
-			return nil, fmt.Errorf("graph: line %d: expected \"<u> <v> <w>\", got %q", lineNo, line)
-		}
-		u, ok1 := atoiBytes(f0)
-		v, ok2 := atoiBytes(f1)
-		w, ok3 := atoiBytes(f2)
-		if !ok1 || !ok2 || !ok3 || u > math.MaxInt || v > math.MaxInt {
-			return nil, fmt.Errorf("graph: line %d: non-numeric edge %q", lineNo, line)
-		}
-		if maxEdges > 0 && g.M() >= maxEdges {
-			return nil, fmt.Errorf("graph: line %d: edge count exceeds limit %d", lineNo, maxEdges)
-		}
-		if err := g.AddEdge(int(u), int(v), w); err != nil {
+		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 		}
 	}
-	if g == nil {
+}
+
+// edgeListParser is the shared per-line state machine behind
+// ParseEdgeListLimits (whole-buffer) and DecodeEdgeList (streaming). It
+// accumulates the edge list and a per-node degree tally instead of
+// calling AddEdge per line, so finish hands both to newDeferred and the
+// parse never builds adjacency — ingest-only consumers (Digest, the
+// store's re-encode) skip that cost entirely.
+// Feed each line (without its trailing '\n') to line, then call finish.
+type edgeListParser struct {
+	maxNodes, maxEdges int
+	n                  int
+	haveN              bool
+	edges              []Edge
+	deg                []int32
+	h                  uint64 // running Digest, folded in as edges stream past
+	sawVersion         bool
+}
+
+func (p *edgeListParser) line(lineNo int, line []byte) error {
+	if i := bytes.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	f0, rest := nextField(line)
+	if len(f0) == 0 {
+		return nil
+	}
+	f1, rest := nextField(rest)
+	f2, rest := nextField(rest)
+	extra, _ := nextField(rest)
+	nf := 1
+	switch {
+	case len(extra) > 0:
+		nf = 4 // "too many fields" marker; exact count never matters
+	case len(f2) > 0:
+		nf = 3
+	case len(f1) > 0:
+		nf = 2
+	}
+	if !p.haveN && !p.sawVersion && len(f0) == 1 && f0[0] == 'v' {
+		if nf != 2 {
+			return fmt.Errorf("graph: line %d: expected version header \"v <version>\", got %q", lineNo, line)
+		}
+		ver, ok := atoiBytes(f1)
+		if !ok {
+			return fmt.Errorf("graph: line %d: bad version %q", lineNo, f1)
+		}
+		if ver != EdgeListVersion {
+			return fmt.Errorf("graph: line %d: unsupported edge-list version %d (this build reads version %d)", lineNo, ver, EdgeListVersion)
+		}
+		p.sawVersion = true
+		return nil
+	}
+	if !p.haveN {
+		if nf != 2 || len(f0) != 1 || f0[0] != 'n' {
+			return fmt.Errorf("graph: line %d: expected header \"n <nodes>\", got %q", lineNo, line)
+		}
+		n, ok := atoiBytes(f1)
+		if !ok || n < 0 {
+			return fmt.Errorf("graph: line %d: bad node count %q", lineNo, f1)
+		}
+		if p.maxNodes > 0 && n > int64(p.maxNodes) {
+			return fmt.Errorf("graph: line %d: node count %d exceeds limit %d", lineNo, n, p.maxNodes)
+		}
+		// The int32 ceiling matches the binary decoder's degree tally; a
+		// graph that large could not be expressed in this format anyway
+		// (every edge line is at least six bytes). Checked after the
+		// configured limit so a bounded parse still reports the limit.
+		if n > math.MaxInt32 {
+			return fmt.Errorf("graph: line %d: bad node count %q", lineNo, f1)
+		}
+		p.n = int(n)
+		p.haveN = true
+		p.deg = make([]int32, n)
+		p.h = digestInit(p.n)
+		return nil
+	}
+	// A second "n" header is always a mistake worth naming precisely:
+	// it would otherwise fall through to the edge branch and report a
+	// misleading "expected \"<u> <v> <w>\"".
+	if len(f0) == 1 && f0[0] == 'n' && nf == 2 {
+		if len(p.edges) > 0 {
+			return fmt.Errorf("graph: line %d: \"n\" header after edges", lineNo)
+		}
+		return fmt.Errorf("graph: line %d: duplicate \"n\" header", lineNo)
+	}
+	if nf != 3 {
+		return fmt.Errorf("graph: line %d: expected \"<u> <v> <w>\", got %q", lineNo, line)
+	}
+	u, ok1 := atoiBytes(f0)
+	v, ok2 := atoiBytes(f1)
+	w, ok3 := atoiBytes(f2)
+	if !ok1 || !ok2 || !ok3 || u > math.MaxInt || v > math.MaxInt {
+		return fmt.Errorf("graph: line %d: non-numeric edge %q", lineNo, line)
+	}
+	if p.maxEdges > 0 && len(p.edges) >= p.maxEdges {
+		return fmt.Errorf("graph: line %d: edge count exceeds limit %d", lineNo, p.maxEdges)
+	}
+	if err := validateEdge(p.n, int(u), int(v), w); err != nil {
+		return fmt.Errorf("graph: line %d: %w", lineNo, err)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	e := Edge{U: int(u), V: int(v), W: w}
+	p.edges = append(p.edges, e)
+	p.deg[u]++
+	p.deg[v]++
+	// Folding the digest into the parse loop hides the hash's serial
+	// multiply chain behind the scanning work; the upload handler's
+	// Digest call then costs nothing instead of a second edge-list walk.
+	p.h = digestMixEdge(p.h, e)
+	return nil
+}
+
+func (p *edgeListParser) finish() (*Graph, error) {
+	if !p.haveN {
 		return nil, fmt.Errorf("graph: empty edge list (missing \"n <nodes>\" header)")
 	}
+	g := newDeferred(p.n, p.edges, p.deg)
+	g.digestVal, g.digestOK = p.h, true
 	return g, nil
 }
 

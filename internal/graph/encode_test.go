@@ -1,9 +1,12 @@
 package graph
 
 import (
+	"bytes"
+	"io"
 	"math/rand"
 	"strings"
 	"testing"
+	"testing/iotest"
 )
 
 // TestEdgeListRoundTrip checks that FormatEdgeList/ParseEdgeList
@@ -118,6 +121,62 @@ func TestParseEdgeListAllocGuard(t *testing.T) {
 	}
 }
 
+// TestDecodeEdgeListStream checks that the streaming decoder is
+// behaviorally identical to the whole-buffer parser: same graphs, same
+// digests, same line-numbered errors — even when the reader dribbles
+// one byte at a time across bufio refills.
+func TestDecodeEdgeListStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, g := range []*Graph{
+		New(3),
+		Path(17),
+		RandomWeights(LowDiameterExpanderish(64, 4, rng), 100, rng),
+	} {
+		wire := FormatEdgeListVersioned(g)
+		for name, r := range map[string]io.Reader{
+			"buffered": bytes.NewReader(wire),
+			"dribble":  iotest.OneByteReader(bytes.NewReader(wire)),
+		} {
+			got, err := DecodeEdgeList(r, 0, 0)
+			if err != nil {
+				t.Fatalf("%s decode: %v", name, err)
+			}
+			if got.Digest() != g.Digest() {
+				t.Fatalf("%s decode changed digest: %x != %x", name, got.Digest(), g.Digest())
+			}
+		}
+	}
+
+	// Error parity with the buffer parser, line numbers included.
+	for _, in := range []string{
+		"", "0 1 2\n", "n 4\nn 5\n", "n 4\n0 1 2\nn 5\n", "n 4\n0 1\n", "n 2\n0 5 1\n",
+	} {
+		_, bufErr := ParseEdgeList([]byte(in))
+		_, strErr := DecodeEdgeList(strings.NewReader(in), 0, 0)
+		if bufErr == nil || strErr == nil || bufErr.Error() != strErr.Error() {
+			t.Fatalf("error mismatch on %q: buffer=%v stream=%v", in, bufErr, strErr)
+		}
+	}
+
+	// Limits apply identically.
+	if _, err := DecodeEdgeList(strings.NewReader("n 100\n"), 10, 0); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("node limit not enforced: %v", err)
+	}
+
+	// A line longer than the bufio window is rejected, not split into
+	// two lines that might each parse.
+	long := "n 3\n# " + strings.Repeat("x", 128<<10) + "\n0 1 2\n"
+	if _, err := DecodeEdgeList(strings.NewReader(long), 0, 0); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized line not rejected: %v", err)
+	}
+
+	// A missing trailing newline still parses the last edge.
+	g, err := DecodeEdgeList(strings.NewReader("n 2\n0 1 5"), 0, 0)
+	if err != nil || g.M() != 1 {
+		t.Fatalf("no trailing newline: (%v, %v)", g, err)
+	}
+}
+
 // TestParseEdgeListErrors checks that malformed inputs are rejected
 // with the offending line number.
 func TestParseEdgeListErrors(t *testing.T) {
@@ -129,6 +188,8 @@ func TestParseEdgeListErrors(t *testing.T) {
 		{"bad count", "n -3\n", "bad node count"},
 		{"short edge", "n 4\n0 1\n", "line 2"},
 		{"non-numeric", "n 4\n0 one 2\n", "line 2"},
+		{"duplicate n", "n 4\nn 5\n0 1 2\n", `line 2: duplicate "n" header`},
+		{"n after edges", "n 4\n0 1 2\nn 5\n", `line 3: "n" header after edges`},
 		{"self loop", "n 4\n1 1 2\n", "self loop"},
 		{"out of range", "n 2\n0 5 1\n", "out of range"},
 		{"zero weight", "n 3\n0 1 0\n", "non-positive weight"},

@@ -10,6 +10,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Inf is the distance sentinel for unreachable node pairs. It is small
@@ -30,10 +32,33 @@ type Edge struct {
 
 // Graph is an undirected weighted graph on nodes 0..n-1. The zero value is
 // an empty graph with no nodes; use New to create a graph with n nodes.
+//
+// Graphs built by the bulk decoders (ParseEdgeList, ParseBinary) defer
+// their adjacency structure: the decoder records only the edge list and a
+// per-node degree tally, and the first adjacency read (Neighbors, Degree,
+// a shortest-path call) materializes the arc arena. Ingest-path consumers
+// — Digest, Edges, the store's re-encode — never touch adjacency, so an
+// upload or a store replay pays for edges it serves queries on, not for
+// every edge it parses. The deferred build is safe under concurrent
+// readers; mutating calls (AddEdge) remain single-goroutine-only as
+// before.
 type Graph struct {
 	n     int
 	adj   [][]Arc
 	edges []Edge
+
+	// Deferred-adjacency state: lazyDeg holds the per-node degree tally
+	// while the arc arena is still unbuilt; adjReady flips (with
+	// release/acquire ordering) once adj is safe to read concurrently.
+	adjMu    sync.Mutex
+	adjReady atomic.Bool
+	lazyDeg  []int32
+
+	// Digest memo, set only by the bulk decoders (which fold the hash
+	// into their parse loop) and cleared by AddEdge. Digest never writes
+	// it: self-memoization on first call would race concurrent readers.
+	digestVal uint64
+	digestOK  bool
 }
 
 // New returns an empty graph with n nodes and no edges.
@@ -44,6 +69,65 @@ func New(n int) *Graph {
 	return &Graph{n: n, adj: make([][]Arc, n)}
 }
 
+// newDeferred assembles a graph from a complete edge list and its
+// per-node degree tally without building adjacency; the first adjacency
+// read materializes it via ensureAdj. Every edge must already satisfy
+// AddEdge's invariants (normalized U < V, in range, W >= 1) and deg must
+// be its exact degree tally — the bulk decoders validate both as they go.
+func newDeferred(n int, edges []Edge, deg []int32) *Graph {
+	return &Graph{n: n, edges: edges, lazyDeg: deg}
+}
+
+// ensureAdj materializes a deferred adjacency structure. The fast path
+// is one atomic load; the build itself runs once under adjMu, so any
+// number of readers may race to be first.
+func (g *Graph) ensureAdj() {
+	if g.adjReady.Load() {
+		return
+	}
+	g.adjMu.Lock()
+	defer g.adjMu.Unlock()
+	if !g.adjReady.Load() {
+		g.buildAdj()
+		g.adjReady.Store(true)
+	}
+}
+
+// buildAdj fills the arc arena from the edge list and degree tally of a
+// deferred graph; on an eagerly-built graph it is a no-op. Callers hold
+// adjMu. One arena holds both directed halves of every edge, with each
+// node's row handed out by a cursor sweep, so the build is two stores
+// per edge and a single allocation however many nodes there are.
+func (g *Graph) buildAdj() {
+	if g.lazyDeg == nil {
+		return
+	}
+	deg := g.lazyDeg
+	g.lazyDeg = nil
+	g.adj = make([][]Arc, g.n)
+	if len(g.edges) == 0 {
+		return
+	}
+	arena := make([]Arc, 2*len(g.edges))
+	cur := make([]int32, g.n)
+	off := int32(0)
+	for u := range g.adj {
+		end := off + deg[u]
+		// Three-index slicing pins each row's capacity so a later
+		// AddEdge append reallocates the row instead of clobbering its
+		// neighbor in the shared arena.
+		g.adj[u] = arena[off:end:end]
+		cur[u] = off
+		off = end
+	}
+	for _, e := range g.edges {
+		arena[cur[e.U]] = Arc{To: e.V, W: e.W}
+		cur[e.U]++
+		arena[cur[e.V]] = Arc{To: e.U, W: e.W}
+		cur[e.V]++
+	}
+}
+
 // N returns the number of nodes.
 func (g *Graph) N() int { return g.n }
 
@@ -51,11 +135,17 @@ func (g *Graph) N() int { return g.n }
 func (g *Graph) M() int { return len(g.edges) }
 
 // Degree returns the degree of node u.
-func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u int) int {
+	g.ensureAdj()
+	return len(g.adj[u])
+}
 
 // Neighbors returns the adjacency list of u. Callers must not modify the
 // returned slice.
-func (g *Graph) Neighbors(u int) []Arc { return g.adj[u] }
+func (g *Graph) Neighbors(u int) []Arc {
+	g.ensureAdj()
+	return g.adj[u]
+}
 
 // Edges returns all undirected edges. Callers must not modify the returned
 // slice.
@@ -66,20 +156,32 @@ func (g *Graph) Edges() []Edge { return g.edges }
 // edges are permitted (generators may produce them transiently); Simplify
 // collapses them keeping the minimum weight.
 func (g *Graph) AddEdge(u, v int, w int64) error {
-	switch {
-	case u < 0 || u >= g.n || v < 0 || v >= g.n:
-		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n)
-	case u == v:
-		return fmt.Errorf("graph: self loop at node %d", u)
-	case w < 1:
-		return fmt.Errorf("graph: edge {%d,%d} has non-positive weight %d", u, v, w)
+	if err := validateEdge(g.n, u, v, w); err != nil {
+		return err
 	}
+	g.digestOK = false
+	g.ensureAdj()
 	g.adj[u] = append(g.adj[u], Arc{To: v, W: w})
 	g.adj[v] = append(g.adj[v], Arc{To: u, W: w})
 	if u > v {
 		u, v = v, u
 	}
 	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
+	return nil
+}
+
+// validateEdge is AddEdge's argument check, shared with the bulk
+// decoders so a rejected edge reports the same error whichever path saw
+// it first.
+func validateEdge(n, u, v int, w int64) error {
+	switch {
+	case u < 0 || u >= n || v < 0 || v >= n:
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, n)
+	case u == v:
+		return fmt.Errorf("graph: self loop at node %d", u)
+	case w < 1:
+		return fmt.Errorf("graph: edge {%d,%d} has non-positive weight %d", u, v, w)
+	}
 	return nil
 }
 
@@ -97,6 +199,7 @@ func (g *Graph) HasEdge(u, v int) (int64, bool) {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		return 0, false
 	}
+	g.ensureAdj()
 	best, found := int64(0), false
 	for _, a := range g.adj[u] {
 		if a.To == v && (!found || a.W < best) {
@@ -176,6 +279,7 @@ func (g *Graph) Connected() bool {
 	if g.n <= 1 {
 		return true
 	}
+	g.ensureAdj()
 	seen := make([]bool, g.n)
 	stack := []int{0}
 	seen[0] = true
@@ -197,6 +301,7 @@ func (g *Graph) Connected() bool {
 // Validate checks structural invariants (adjacency symmetry, weight
 // positivity, edge-list consistency) and returns the first violation found.
 func (g *Graph) Validate() error {
+	g.ensureAdj()
 	deg := 0
 	for u := range g.adj {
 		deg += len(g.adj[u])

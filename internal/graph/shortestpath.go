@@ -42,6 +42,7 @@ func (g *Graph) DijkstraHops(src int) (dist, hops []int64) {
 	if src < 0 || src >= g.n {
 		panic(fmt.Sprintf("graph: Dijkstra source %d out of range [0,%d)", src, g.n))
 	}
+	g.ensureAdj()
 	dist = make([]int64, g.n)
 	hops = make([]int64, g.n)
 	for i := range dist {
@@ -71,6 +72,7 @@ func (g *Graph) BFS(src int) []int64 {
 	if src < 0 || src >= g.n {
 		panic(fmt.Sprintf("graph: BFS source %d out of range [0,%d)", src, g.n))
 	}
+	g.ensureAdj()
 	d := make([]int64, g.n)
 	for i := range d {
 		d[i] = Inf

@@ -2,19 +2,37 @@ package store
 
 // Record payload codecs and the snapshot reader. A graph payload is one
 // JSON metadata line (digest + optional generator spec) followed by the
-// versioned edge-list wire form of the graph; a touch payload is a
-// single JSON line. The snapshot file is simply the framed graph
-// records of every resident graph in registration order — the same
-// framing as the log, so one scanner serves both — published atomically
-// and blessed by the manifest.
+// wire form of the graph — the binary codec by default (Options.Codec),
+// the versioned text edge list for compatibility; the leading bytes
+// disambiguate on replay, so a store can carry a mix. The snapshot file
+// is the framed graph records of every resident graph in registration
+// order — the same framing as the log, so one scanner serves both —
+// followed by an index footer that lets replay seek straight to each
+// record and slice payloads zero-copy out of the read buffer instead of
+// re-scanning and re-copying the file record by record. The footer is
+// strictly optional: a footer-less (pre-PR 8) or corrupt-footer
+// snapshot falls back to the sequential scan. Published atomically and
+// blessed by the manifest either way.
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 
 	"qcongest/internal/graph"
+)
+
+// Snapshot/record codec names (Options.Codec).
+const (
+	// CodecBinary persists graph payloads in graph.FormatBinary — the
+	// default: ~4x smaller records and a varint decode on replay.
+	CodecBinary = "binary"
+	// CodecText persists graph payloads as versioned text edge lists,
+	// readable in a hex dump and by pre-PR 8 builds.
+	CodecText = "text"
 )
 
 // graphMeta is the JSON head line of a graph record payload.
@@ -32,12 +50,17 @@ type touchMeta struct {
 // encodeGraphPayload renders one graph record payload. The digest is
 // stored explicitly (not just recomputed) so replay can distinguish
 // "payload corrupted" from "graph legitimately changed encoding".
-func encodeGraphPayload(digest uint64, gen json.RawMessage, g *graph.Graph) ([]byte, error) {
+func encodeGraphPayload(digest uint64, gen json.RawMessage, g *graph.Graph, codec string) ([]byte, error) {
 	meta, err := json.Marshal(graphMeta{Digest: formatDigest(digest), Gen: gen})
 	if err != nil {
 		return nil, fmt.Errorf("store: encoding graph meta: %w", err)
 	}
-	wire := graph.FormatEdgeListVersioned(g)
+	var wire []byte
+	if codec == CodecText {
+		wire = graph.FormatEdgeListVersioned(g)
+	} else {
+		wire = graph.FormatBinary(g)
+	}
 	payload := make([]byte, 0, len(meta)+1+len(wire))
 	payload = append(payload, meta...)
 	payload = append(payload, '\n')
@@ -63,7 +86,15 @@ func decodeGraphPayload(payload []byte, maxNodes, maxEdges int) (digest uint64, 
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	g, err = graph.ParseEdgeListLimits(rest, maxNodes, maxEdges)
+	// The wire form identifies itself: the binary codec's magic starts
+	// with a non-ASCII byte no text edge list can begin with, so mixed
+	// stores (text log records under a binary-default daemon, or the
+	// reverse) replay without any flag.
+	if graph.IsBinary(rest) {
+		g, err = graph.ParseBinaryLimits(rest, maxNodes, maxEdges)
+	} else {
+		g, err = graph.ParseEdgeListLimits(rest, maxNodes, maxEdges)
+	}
 	if err != nil {
 		return 0, nil, nil, err
 	}
@@ -91,22 +122,81 @@ func decodeTouchPayload(payload []byte) (digest uint64, sk *SketchParams, err er
 	return digest, meta.Sketch, nil
 }
 
+// The snapshot index footer. After the framed records the file carries
+//
+//	index section: per record, uint64 LE offset + uint32 LE length
+//	               (the framed record's full on-disk footprint)
+//	trailer (24 bytes):
+//	  uint64 LE  index section offset
+//	  uint32 LE  record count
+//	  uint32 LE  CRC32 (IEEE) of the index section
+//	  8 bytes    magic "QCSIDX01"
+//
+// Replay validates the trailer and index checksum, then slices each
+// record (and its payload) straight out of the one read buffer —
+// zero-copy per record, no re-scan. Anything wrong with the footer
+// demotes the file to the sequential scanner, which reads the index
+// section as a torn tail and salvages every intact record before it.
+const (
+	snapIndexEntryLen = 12
+	snapTrailerLen    = 24
+)
+
+var snapIndexMagic = [8]byte{'Q', 'C', 'S', 'I', 'D', 'X', '0', '1'}
+
 // encodeSnapshot renders the snapshot file body: every graph as a
 // framed record (seq = registration index; snapshot record seqs only
 // order the file, the manifest's SnapshotSeq is what replay compares
-// log records against).
-func encodeSnapshot(recs []*graphRec) ([]byte, error) {
+// log records against), then the index footer.
+func encodeSnapshot(recs []*graphRec, codec string) ([]byte, error) {
 	var buf bytes.Buffer
+	index := make([]byte, 0, len(recs)*snapIndexEntryLen)
 	for i, r := range recs {
-		payload, err := encodeGraphPayload(r.digest, r.gen, r.g)
+		payload, err := encodeGraphPayload(r.digest, r.gen, r.g, codec)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := appendRecord(&buf, uint64(i), recGraph, payload); err != nil {
+		off := int64(buf.Len())
+		n, err := appendRecord(&buf, uint64(i), recGraph, payload)
+		if err != nil {
 			return nil, err
 		}
+		index = binary.LittleEndian.AppendUint64(index, uint64(off))
+		index = binary.LittleEndian.AppendUint32(index, uint32(n))
 	}
+	indexOff := uint64(buf.Len())
+	buf.Write(index)
+	var trailer [snapTrailerLen]byte
+	binary.LittleEndian.PutUint64(trailer[0:], indexOff)
+	binary.LittleEndian.PutUint32(trailer[8:], uint32(len(recs)))
+	binary.LittleEndian.PutUint32(trailer[12:], crc32.ChecksumIEEE(index))
+	copy(trailer[16:], snapIndexMagic[:])
+	buf.Write(trailer[:])
 	return buf.Bytes(), nil
+}
+
+// snapIndex parses and validates the index footer, returning the index
+// section and the end of the record region. ok is false for footer-less
+// or corrupt-footer files — the caller falls back to the scanner.
+func snapIndex(data []byte) (index []byte, recEnd uint64, ok bool) {
+	if len(data) < snapTrailerLen {
+		return nil, 0, false
+	}
+	trailer := data[len(data)-snapTrailerLen:]
+	if !bytes.Equal(trailer[16:], snapIndexMagic[:]) {
+		return nil, 0, false
+	}
+	indexOff := binary.LittleEndian.Uint64(trailer[0:])
+	count := binary.LittleEndian.Uint32(trailer[8:])
+	end := uint64(len(data) - snapTrailerLen)
+	if indexOff > end || end-indexOff != uint64(count)*snapIndexEntryLen {
+		return nil, 0, false
+	}
+	index = data[indexOff:end]
+	if crc32.ChecksumIEEE(index) != binary.LittleEndian.Uint32(trailer[12:]) {
+		return nil, 0, false
+	}
+	return index, indexOff, true
 }
 
 // readSnapshot loads the snapshot file named by the manifest, returning
@@ -115,12 +205,43 @@ func encodeSnapshot(recs []*graphRec) ([]byte, error) {
 // at all is reported as one failure; recovery then proceeds from the
 // log alone rather than refusing to boot.
 func readSnapshot(path string, maxNodes, maxEdges int) (recs []*graphRec, failures []recFailure) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, []recFailure{{name: "snapshot", err: err}}
 	}
-	defer f.Close()
-	res, scanErr := scanRecords(f, func(seq uint64, kind string, payload []byte) error {
+	if index, recEnd, ok := snapIndex(data); ok {
+		quarantine := func(i int, err error, raw []byte) {
+			failures = append(failures, recFailure{name: fmt.Sprintf("snapshot-rec-%d", i), err: err, raw: raw})
+		}
+		for i := 0; i*snapIndexEntryLen < len(index); i++ {
+			e := index[i*snapIndexEntryLen:]
+			off := binary.LittleEndian.Uint64(e)
+			n := uint64(binary.LittleEndian.Uint32(e[8:]))
+			if off > recEnd || recEnd-off < n {
+				quarantine(i, fmt.Errorf("store: snapshot index entry %d out of bounds", i), nil)
+				continue
+			}
+			_, kind, payload, err := parseFramedRecord(data[off : off+n])
+			if err != nil {
+				quarantine(i, err, data[off:off+n])
+				continue
+			}
+			if kind != recGraph {
+				quarantine(i, fmt.Errorf("store: unexpected %s record in snapshot", kind), payload)
+				continue
+			}
+			digest, gen, g, err := decodeGraphPayload(payload, maxNodes, maxEdges)
+			if err != nil {
+				quarantine(i, err, payload)
+				continue
+			}
+			recs = append(recs, &graphRec{g: g, digest: digest, gen: gen})
+		}
+		return recs, failures
+	}
+	// Footer-less (pre-PR 8) or corrupt-footer snapshot: sequential
+	// scan, which copies each payload but reads everything salvageable.
+	res, scanErr := scanRecords(bytes.NewReader(data), func(seq uint64, kind string, payload []byte) error {
 		if kind != recGraph {
 			failures = append(failures, recFailure{name: fmt.Sprintf("snapshot-rec-%d", seq), err: fmt.Errorf("store: unexpected %s record in snapshot", kind), raw: payload})
 			return nil
@@ -138,7 +259,8 @@ func readSnapshot(path string, maxNodes, maxEdges int) (recs []*graphRec, failur
 	}
 	if res.torn {
 		// Snapshots are published atomically, so a torn snapshot means
-		// post-publication corruption; salvage the intact prefix.
+		// post-publication corruption (or a scan demoted by a bad
+		// footer); salvage the intact prefix.
 		failures = append(failures, recFailure{name: "snapshot-tail", err: res.tornErr})
 	}
 	return recs, failures

@@ -77,6 +77,11 @@ type Options struct {
 	// before allocation (0 = unbounded). Pass the serving limits so a
 	// corrupt record cannot balloon recovery memory.
 	MaxNodes, MaxEdges int
+	// Codec selects the wire form of persisted graph payloads:
+	// CodecBinary (the default) or CodecText. Replay always accepts
+	// both — the payload bytes identify their own codec — so flipping
+	// this between boots is safe.
+	Codec string
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +90,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TouchLogEvery == 0 {
 		o.TouchLogEvery = 64
+	}
+	if o.Codec == "" {
+		o.Codec = CodecBinary
 	}
 	return o
 }
@@ -218,6 +226,9 @@ func Open(opts Options) (*Store, []RecoveredGraph, RecoveryStats, error) {
 		return nil, nil, stats, errors.New("store: Options.Dir is required")
 	}
 	opts = opts.withDefaults()
+	if opts.Codec != CodecBinary && opts.Codec != CodecText {
+		return nil, nil, stats, fmt.Errorf("store: unknown codec %q (use %q or %q)", opts.Codec, CodecBinary, CodecText)
+	}
 	start := time.Now()
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, nil, stats, fmt.Errorf("store: creating data dir: %w", err)
@@ -538,7 +549,7 @@ func (s *Store) openActiveLog() error {
 // RecoveredGraph.Gen).
 func (s *Store) AppendGraph(g *graph.Graph, gen json.RawMessage) error {
 	digest := g.Digest()
-	payload, err := encodeGraphPayload(digest, gen, g)
+	payload, err := encodeGraphPayload(digest, gen, g, s.opts.Codec)
 	if err != nil {
 		return err
 	}
@@ -790,7 +801,7 @@ func (s *Store) stageSnapshot() (*snapJob, error) {
 // publishSnapshot writes and atomically renames the snapshot and the
 // manifest. No store mutex is held; the job carries everything needed.
 func (s *Store) publishSnapshot(job *snapJob) error {
-	body, err := encodeSnapshot(job.recs)
+	body, err := encodeSnapshot(job.recs, s.opts.Codec)
 	if err != nil {
 		return err
 	}

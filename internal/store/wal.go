@@ -22,6 +22,7 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -124,6 +125,31 @@ func scanRecords(r io.Reader, fn func(seq uint64, kind string, payload []byte) e
 		}
 		res.good += int64(len(header)) + int64(payloadLen) + 1
 	}
+}
+
+// parseFramedRecord parses one complete framed record held in memory,
+// returning the payload as a subslice of rec — no copy. rec must be
+// exactly the record's on-disk footprint (header line + payload +
+// trailing newline), which is what the snapshot index stores; any
+// mismatch or checksum failure is an error. This is the zero-copy
+// counterpart of one scanRecords step for index-addressed reads.
+func parseFramedRecord(rec []byte) (seq uint64, kind string, payload []byte, err error) {
+	hEnd := bytes.IndexByte(rec, '\n')
+	if hEnd < 0 || hEnd >= maxHeaderBytes {
+		return 0, "", nil, fmt.Errorf("store: unterminated record header")
+	}
+	seq, kind, payloadLen, sum, err := parseRecordHeader(string(rec[:hEnd+1]))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if len(rec) != hEnd+1+payloadLen+1 || rec[len(rec)-1] != '\n' {
+		return 0, "", nil, fmt.Errorf("store: record %d: framed length %d does not match payload length %d", seq, len(rec), payloadLen)
+	}
+	payload = rec[hEnd+1 : hEnd+1+payloadLen]
+	if got := recordSum(seq, kind, payload); got != sum {
+		return 0, "", nil, fmt.Errorf("store: record %d: checksum %08x != %08x", seq, got, sum)
+	}
+	return seq, kind, payload, nil
 }
 
 // readHeaderLine reads one newline-terminated header line of at most

@@ -64,22 +64,30 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// do runs one request and decodes the JSON response into out.
+// do runs one JSON request and decodes the JSON response into out.
 func (c *Client) do(method, path string, in, out any) error {
 	var body io.Reader
+	ct := ""
 	if in != nil {
 		raw, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("svc: encoding request: %w", err)
 		}
-		body = bytes.NewReader(raw)
+		body, ct = bytes.NewReader(raw), "application/json"
 	}
+	return c.send(method, path, body, ct, out)
+}
+
+// send runs one request with an arbitrary body and decodes the JSON
+// response into out — the transport half of do, shared with the raw
+// codec-negotiated calls.
+func (c *Client) send(method, path string, body io.Reader, contentType string, out any) error {
 	req, err := http.NewRequest(method, c.BaseURL+path, body)
 	if err != nil {
 		return fmt.Errorf("svc: building request: %w", err)
 	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
 	}
 	if c.APIKey != "" {
 		req.Header.Set("X-API-Key", c.APIKey)
@@ -120,13 +128,72 @@ func (c *Client) do(method, path string, in, out any) error {
 	return nil
 }
 
-// Upload registers g with the daemon via the edge-list wire format and
-// returns its identity. Uploading an already registered graph succeeds
-// with Created == false.
+// Upload registers g with the daemon via the JSON-wrapped edge-list
+// form and returns its identity. Uploading an already registered graph
+// succeeds with Created == false.
 func (c *Client) Upload(g *graph.Graph) (UploadResponse, error) {
 	var out UploadResponse
-	err := c.do(http.MethodPost, "/v1/graphs", UploadRequest{EdgeList: string(graph.FormatEdgeList(g))}, &out)
+	err := c.do(http.MethodPost, "/v1/graphs", UploadRequest{EdgeList: graph.FormatEdgeList(g)}, &out)
 	return out, err
+}
+
+// UploadWire registers g via a raw codec-negotiated upload: the request
+// body is the graph itself (binary codec when binary is true, text edge
+// list otherwise) with no JSON wrapper — the daemon streams it straight
+// into the parser.
+func (c *Client) UploadWire(g *graph.Graph, binary bool) (UploadResponse, error) {
+	if binary {
+		return c.UploadRaw(graph.FormatBinary(g), ctBinaryGraph)
+	}
+	return c.UploadRaw(graph.FormatEdgeList(g), ctEdgeList)
+}
+
+// UploadRaw posts an already-encoded graph body under the given
+// Content-Type ("application/x-qcongest-graph" or
+// "application/x-qcongest-edgelist"). Load drivers use it to replay one
+// encode over many requests.
+func (c *Client) UploadRaw(body []byte, contentType string) (UploadResponse, error) {
+	var out UploadResponse
+	err := c.send(http.MethodPost, "/v1/graphs", bytes.NewReader(body), contentType, &out)
+	return out, err
+}
+
+// FetchGraph downloads a registered graph's body in the requested wire
+// codec (Accept-negotiated) and decodes it. The decoded graph carries
+// the digest it was addressed by — the round trip is exact, insertion
+// order included.
+func (c *Client) FetchGraph(digest string, binary bool) (*graph.Graph, error) {
+	format := "edgelist"
+	if binary {
+		format = "binary"
+	}
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/v1/graphs/"+url.PathEscape(digest)+"?format="+format, nil)
+	if err != nil {
+		return nil, fmt.Errorf("svc: building request: %w", err)
+	}
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("svc: fetching graph %s: %w", digest, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		var er ErrorResponse
+		msg := "(undecodable error body)"
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return nil, &StatusError{Code: resp.StatusCode, Message: msg, RequestID: resp.Header.Get("X-Request-Id")}
+	}
+	if binary {
+		return graph.DecodeBinary(resp.Body, 0, 0)
+	}
+	return graph.DecodeEdgeList(resp.Body, 0, 0)
 }
 
 // Generate asks the daemon to generate and register a workload graph

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"mime"
 	"net/http"
 	"strconv"
 	"strings"
@@ -163,17 +165,88 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, GraphListResponse{Graphs: s.reg.list()})
 }
 
-func (s *Server) handleGraphInfo(w http.ResponseWriter, _ *http.Request, e *entry) {
-	writeJSON(w, http.StatusOK, e.info)
+// Raw graph media types, negotiated on POST /v1/graphs by Content-Type
+// and on GET /v1/graphs/{digest} by Accept (or ?format=). The JSON
+// wrapper stays the default on both sides for compatibility.
+const (
+	ctBinaryGraph = "application/x-qcongest-graph"
+	ctEdgeList    = "application/x-qcongest-edgelist"
+)
+
+// mediaType extracts the bare media type from a Content-Type header
+// value, dropping parameters like charset.
+func mediaType(v string) string {
+	if v == "" {
+		return ""
+	}
+	mt, _, err := mime.ParseMediaType(v)
+	if err != nil {
+		return strings.ToLower(strings.TrimSpace(v))
+	}
+	return mt
+}
+
+// downloadFormat resolves the representation for a graph download:
+// an explicit ?format= wins (mirroring /metrics), then the Accept
+// header, then the JSON info document the PR 4 API served.
+func downloadFormat(r *http.Request) string {
+	switch r.URL.Query().Get("format") {
+	case "binary":
+		return "binary"
+	case "edgelist", "text":
+		return "edgelist"
+	}
+	accept := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, ctBinaryGraph):
+		return "binary"
+	case strings.Contains(accept, ctEdgeList):
+		return "edgelist"
+	}
+	return "json"
+}
+
+// handleGraphInfo answers GET /v1/graphs/{digest}: the JSON info
+// document by default, or — negotiated by Accept/?format= — the graph
+// body itself in either wire codec, so a client (or a future replica)
+// can fetch exactly the bytes it would re-upload.
+func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request, e *entry) {
+	var body []byte
+	var ct string
+	switch downloadFormat(r) {
+	case "binary":
+		body, ct = graph.FormatBinary(e.g), ctBinaryGraph
+	case "edgelist":
+		body, ct = graph.FormatEdgeListVersioned(e.g), ctEdgeList
+	default:
+		writeJSON(w, http.StatusOK, e.info)
+		return
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
 }
 
 func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
+	// Raw uploads skip the JSON wrapper entirely: the body IS the graph,
+	// streamed through the codec's incremental framer. Unrecognized
+	// Content-Types (including none) stay on the JSON path so pre-PR 8
+	// clients are untouched.
+	switch mediaType(r.Header.Get("Content-Type")) {
+	case ctBinaryGraph:
+		s.handleCreateGraphRaw(w, r, true)
+		return
+	case ctEdgeList:
+		s.handleCreateGraphRaw(w, r, false)
+		return
+	}
 	key := apiKeyOf(r)
 	var req UploadRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if (req.EdgeList == "") == (req.Gen == nil) {
+	if (len(req.EdgeList) == 0) == (req.Gen == nil) {
 		writeError(w, http.StatusBadRequest, "set exactly one of \"edgelist\" and \"gen\"")
 		return
 	}
@@ -187,11 +260,12 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 	defer s.build.leave()
 	var g *graph.Graph
 	var err error
-	if req.EdgeList != "" {
+	if len(req.EdgeList) > 0 {
 		// Limits are enforced during the parse — before the adjacency
 		// allocation — so a few-byte "n 99999999999" header cannot
-		// request terabytes.
-		g, err = graph.ParseEdgeListLimits([]byte(req.EdgeList), s.cfg.MaxNodes, s.cfg.MaxEdges)
+		// request terabytes. EdgeListBytes already landed the body as
+		// []byte, so no string round trip happens here.
+		g, err = graph.ParseEdgeListLimits(req.EdgeList, s.cfg.MaxNodes, s.cfg.MaxEdges)
 	} else {
 		// Size-check the spec before generating, for the same reason.
 		if err := s.checkGenSize(req.Gen); err != nil {
@@ -208,6 +282,60 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "%v", err)
 		return
 	}
+	s.finishCreateGraph(w, r, key, g, req.Gen)
+}
+
+// handleCreateGraphRaw is the wire-speed upload path: the request body
+// is the graph itself in the binary or text codec, decoded straight off
+// the stream — size limits are enforced from the codec's header prefix
+// before adjacency is allocated, and at no point does a second copy of
+// the body exist (the JSON path holds the decoder buffer, the string
+// field, and the parse input simultaneously).
+func (s *Server) handleCreateGraphRaw(w http.ResponseWriter, r *http.Request, binary bool) {
+	if !admit(w, r.Context(), s.build) {
+		return
+	}
+	defer s.build.leave()
+	var g *graph.Graph
+	var err error
+	switch {
+	case binary && r.ContentLength > 0 && r.ContentLength <= s.cfg.MaxBodyBytes:
+		// The declared length is within the admitted body budget, so
+		// read into one exact-size buffer instead of letting the
+		// streaming decoder's buffer grow by doubling — at a million
+		// edges the saved reallocation copies are a measurable slice of
+		// the ingest budget. ParseBinaryLimits still enforces the
+		// node/edge limits from the prefix before graph allocation.
+		body := make([]byte, r.ContentLength)
+		if _, err = io.ReadFull(r.Body, body); err == nil {
+			g, err = graph.ParseBinaryLimits(body, s.cfg.MaxNodes, s.cfg.MaxEdges)
+		}
+	case binary:
+		g, err = graph.DecodeBinary(r.Body, s.cfg.MaxNodes, s.cfg.MaxEdges)
+	default:
+		g, err = graph.DecodeEdgeList(r.Body, s.cfg.MaxNodes, s.cfg.MaxEdges)
+	}
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		code := http.StatusBadRequest
+		switch {
+		case errors.As(err, &tooBig):
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit", tooBig.Limit)
+			return
+		case strings.Contains(err.Error(), "exceeds limit"):
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	s.finishCreateGraph(w, r, apiKeyOf(r), g, nil)
+}
+
+// finishCreateGraph is the codec-independent back half of every upload:
+// post-parse limit enforcement, tenant quota, registration, durable
+// persistence, and the response. Callers hold the build gate.
+func (s *Server) finishCreateGraph(w http.ResponseWriter, r *http.Request, key string, g *graph.Graph, genSpec *GenSpec) {
 	if g.N() > s.cfg.MaxNodes || g.M() > s.cfg.MaxEdges {
 		writeError(w, http.StatusRequestEntityTooLarge,
 			"graph n=%d m=%d exceeds limits (n <= %d, m <= %d)", g.N(), g.M(), s.cfg.MaxNodes, s.cfg.MaxEdges)
@@ -233,8 +361,8 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 		// Durably commit before acknowledging (in-memory servers no-op):
 		// a 2xx upload must survive a crash at any later byte boundary.
 		var gen []byte
-		if req.Gen != nil {
-			gen, _ = json.Marshal(req.Gen)
+		if genSpec != nil {
+			gen, _ = json.Marshal(genSpec)
 		}
 		if err := s.persistGraph(e, gen); err != nil {
 			writeError(w, http.StatusInternalServerError, "persisting graph: %v", err)

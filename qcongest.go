@@ -163,10 +163,12 @@ type (
 	ServiceMetrics = svc.MetricsSnapshot
 )
 
-// Serving-layer constructors and the edge-list wire codec (the upload
-// format of POST /v1/graphs). OpenService is NewService plus
-// durability: with ServiceConfig.DataDir set it opens the crash-safe
-// graph store there, replays every committed graph, and pre-warms the
+// Serving-layer constructors and the wire codecs of POST /v1/graphs:
+// the text edge list and the varint-delta binary format (DESIGN.md §10).
+// Both round-trip a graph exactly, including the edge insertion order
+// its Digest hashes. OpenService is NewService plus durability: with
+// ServiceConfig.DataDir set it opens the crash-safe graph store there,
+// replays every committed graph, and pre-warms the
 // ServiceConfig.WarmStart hottest ones (API.md "Persistence and warm
 // restarts", DESIGN.md §9); the caller owns Service.Close.
 var (
@@ -175,6 +177,8 @@ var (
 	NewServiceClient = svc.NewClient
 	FormatEdgeList   = graph.FormatEdgeList
 	ParseEdgeList    = graph.ParseEdgeList
+	FormatBinary     = graph.FormatBinary
+	ParseBinary      = graph.ParseBinary
 )
 
 // SimOptions configure a CONGEST simulation run.
