@@ -7,6 +7,13 @@
 //
 //	qcongestd -addr 127.0.0.1:8080 -cache 64 -buildslots 2 -distworkers 0
 //	qcongestd -addr 127.0.0.1:8080 -data-dir /var/lib/qcongest -warm 8
+//	qcongestd -addr 127.0.0.1:8081 -data-dir /var/lib/qc-replica -follow http://127.0.0.1:8080
+//
+// With -follow the daemon is a read-only replica (DESIGN.md §11): it
+// tails the leader's append-only log over GET /v1/replicate, digest-
+// verifies every shipped graph before applying it, rejects uploads with
+// 403, and fails /healthz readiness when it falls more than -maxlag
+// records behind. cmd/qrouter routes cluster reads across replicas.
 //
 // With -data-dir the registry is durable (DESIGN.md §9): every
 // acknowledged upload is fsynced into a crash-safe log before the 2xx,
@@ -95,6 +102,9 @@ func main() {
 		rateBurst    = flag.Int("rateburst", 0, "token-bucket burst depth per API key (0 = 2x -ratelimit, min 1)")
 		tenantGraphs = flag.Int("tenantgraphs", 0, "graphs one API key may create; beyond it uploads answer 429 (0 disables)")
 		accessLog    = flag.String("access-log", "", "structured JSON request log destination: a file path, or - for stdout (empty disables)")
+		follow       = flag.String("follow", "", "leader base URL to follow as a read-only replica, e.g. http://127.0.0.1:8080 (empty = standalone/leader)")
+		maxLag       = flag.Uint64("maxlag", 0, "replication lag in sequence numbers beyond which /healthz fails readiness (0 = 1024; follower only)")
+		replPoll     = flag.Duration("replpoll", 0, "idle pause between replication poll rounds (0 = 250ms; follower only)")
 	)
 	flag.Parse()
 
@@ -126,6 +136,9 @@ func main() {
 		RateBurst:       *rateBurst,
 		TenantMaxGraphs: *tenantGraphs,
 		AccessLog:       logDst,
+		FollowURL:       *follow,
+		MaxLagSeq:       *maxLag,
+		FollowPoll:      *replPoll,
 	})
 	if err != nil {
 		log.Fatalf("qcongestd: opening store: %v", err)
@@ -160,6 +173,9 @@ func main() {
 		rec := s.Recovery()
 		log.Printf("qcongestd: durable store %s — recovered %d graphs (%d snapshot + %d log, %d quarantined) in %s",
 			*dataDir, rec.SnapshotGraphs+rec.LogGraphs, rec.SnapshotGraphs, rec.LogGraphs, rec.Quarantined, rec.Replay)
+	}
+	if *follow != "" {
+		log.Printf("qcongestd: read-only replica following %s", *follow)
 	}
 	log.Printf("qcongestd: serving on http://%s (cache=%d buildslots=%d)", *addr, *cache, *buildSlots)
 

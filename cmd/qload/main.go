@@ -12,6 +12,14 @@
 //	       request is a build and the cache churns under eviction.
 //	mixed  80% warm reads, 20% cold builds — the admission-control
 //	       regime where builds must not starve reads.
+//	cluster drives a qrouter front door instead of one daemon: uploads
+//	       -graphs distinct graphs through the router, walks the live
+//	       topology from /v1/cluster and asserts every replica of the
+//	       owning shard answers byte-identical sketch numerators and
+//	       exact metrics (the replication parity contract), then runs a
+//	       timed read phase through the router where any 5xx fails the
+//	       run — the zero-read-loss assertion behind the kill/revive
+//	       smoke.
 //	ingest every request is a graph upload: qload generates one
 //	       workload graph client-side (-edges edges), pre-encodes it
 //	       once per requested -codec (json, text, binary), and replays
@@ -99,6 +107,8 @@ type report struct {
 	// Ingest holds the per-codec legs of an ingest-mix run (absent for
 	// the read mixes).
 	Ingest []ingestReport `json:"ingest,omitempty"`
+	// Cluster holds the topology/parity section of a cluster-mix run.
+	Cluster *clusterReport `json:"cluster,omitempty"`
 }
 
 func main() {
@@ -118,10 +128,17 @@ func main() {
 		codecs   = flag.String("codec", "binary", "comma-separated upload codecs for the ingest mix: json, text, binary")
 		edges    = flag.Int("edges", 65536, "ingest workload graph edge count (ingest mix only; nodes = edges/8)")
 		order    = flag.String("order", "sorted", "ingest workload edge insertion order: sorted (the canonical bulk-export layout, where the binary codec omits its permutation section) or random")
+		nGraphs  = flag.Int("graphs", 8, "cluster mix: distinct workload graphs uploaded through the router")
 	)
 	flag.Parse()
 	switch *mix {
 	case "warm", "cold", "mixed":
+	case "cluster":
+		runCluster(clusterConfig{
+			addr: *addr, graphs: *nGraphs, n: *n, requests: *requests,
+			conc: *conc, seed: *seed, out: *out, apiKey: *apiKey, expectID: *expectID,
+		})
+		return
 	case "ingest":
 		runIngest(ingestConfig{
 			addr: *addr, codecs: strings.Split(*codecs, ","), edges: *edges,

@@ -1,0 +1,109 @@
+// Command qrouter is the cluster front door: a stateless reverse proxy
+// that consistent-hashes graph digests across qcongestd shards
+// (DESIGN.md §11, API.md "Cluster routing"). Uploads go to the owning
+// shard's leader — or are shed with 503 + Retry-After when that leader
+// is down, preserving the 2xx-is-a-durability-receipt contract — and
+// reads rotate across the shard's in-sync replicas with per-request
+// failover. Listings fan out and merge; batches split by shard and
+// reassemble in request order.
+//
+// Usage:
+//
+//	qrouter -addr 127.0.0.1:8090 \
+//	  -peers 'http://127.0.0.1:8080;http://127.0.0.1:8081,http://127.0.0.1:8082;http://127.0.0.1:8083'
+//
+// -peers is the static topology: shards separated by commas, each
+// shard's replicas separated by semicolons, first replica = leader
+// (the one whose -data-dir the others -follow).
+//
+// The router serves its own /healthz (ok / degraded / draining),
+// /v1/cluster (the live topology descriptor cluster-aware clients
+// use), and /metrics (JSON + Prometheus, qrouter_* namespace). It
+// drains gracefully on SIGINT/SIGTERM like the daemons.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qcongest/internal/cluster"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8090", "listen address")
+		peers        = flag.String("peers", "", "shard topology: comma-separated shards of semicolon-separated replica URLs, leader first (required)")
+		probeEvery   = flag.Duration("probeevery", 500*time.Millisecond, "health-probe cadence per daemon")
+		maxBody      = flag.Int64("maxbody", 0, "request body cap in bytes (0 = 64 MiB)")
+		maxNodes     = flag.Int("maxnodes", 0, "max nodes per upload parsed for routing (0 = 1<<17; match the daemons)")
+		maxEdges     = flag.Int("maxedges", 0, "max edges per upload parsed for routing (0 = 1<<21; match the daemons)")
+		drainTimeout = flag.Duration("draintimeout", 15*time.Second, "graceful shutdown deadline")
+	)
+	flag.Parse()
+
+	if *peers == "" {
+		log.Fatal("qrouter: -peers is required (see -help)")
+	}
+	topo, err := cluster.ParseTopology(*peers)
+	if err != nil {
+		log.Fatalf("qrouter: %v", err)
+	}
+	rt, err := cluster.NewRouter(cluster.Config{
+		Topology:     topo,
+		ProbeEvery:   *probeEvery,
+		MaxBodyBytes: *maxBody,
+		MaxNodes:     *maxNodes,
+		MaxEdges:     *maxEdges,
+	})
+	if err != nil {
+		log.Fatalf("qrouter: %v", err)
+	}
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+
+	nodes := 0
+	for _, s := range topo.Shards {
+		nodes += len(s.Nodes)
+	}
+	log.Printf("qrouter: routing %d shards / %d nodes on http://%s", len(topo.Shards), nodes, *addr)
+	for _, s := range topo.Shards {
+		log.Printf("qrouter: shard %s leader %s (%d replicas)", s.Name, s.Leader(), len(s.Nodes))
+	}
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("qrouter: listener failed: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("qrouter: draining (deadline %s)", *drainTimeout)
+	rt.SetHealthy(false)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("qrouter: shutdown: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("qrouter: serve: %v", err)
+	}
+	rt.Close()
+	fmt.Println("qrouter: shut down cleanly")
+}

@@ -18,24 +18,34 @@
 // varint-delta format must be indistinguishable — same digest, same
 // exact eccentricities, byte-identical sketch numerators — so the
 // serving layer may accept either encoding of a graph and answer from
-// either without the caller being able to tell. CI runs this file with
-// -count=3 under the `determinism` and `kernel-differential` jobs.
+// either without the caller being able to tell; Part F extends it over
+// the cluster: a leader and its WAL-shipped replicas — each configured
+// with a different sketch worker count, answering under every pinned
+// kernel — must serve byte-identical sketch numerators and exact
+// metrics for every replicated graph, both directly and through the
+// digest-routing proxy, which is the invariant that makes any-replica
+// reads sound. CI runs this file with -count=3 under the
+// `determinism` and `kernel-differential` jobs.
 package qcongest_test
 
 import (
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"reflect"
 	"runtime"
 	"testing"
+	"time"
 
 	"qcongest/internal/baseline"
+	"qcongest/internal/cluster"
 	"qcongest/internal/congest"
 	"qcongest/internal/core"
 	"qcongest/internal/dist"
 	"qcongest/internal/exp"
 	"qcongest/internal/graph"
 	"qcongest/internal/qsim"
+	"qcongest/internal/svc"
 )
 
 type traceEntry struct {
@@ -446,5 +456,164 @@ func TestDeterminismKernelModeDrivers(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestDeterminismClusterReplicaParity is Part F: the determinism
+// contract across a live replication cluster. One shard — a durable
+// leader plus a durable and an in-memory follower, each tailing the
+// leader's log over /v1/replicate — behind a digest-routing proxy. The
+// three nodes deliberately run DIFFERENT sketch worker counts (1, 4,
+// GOMAXPROCS), so equality across replicas is simultaneously equality
+// across the parallel kernel's fan-out; each assertion additionally
+// pins both relaxation engines. Every replicated graph must answer the
+// same digest, the same exact diameter, and byte-identical sketch
+// numerators from every node and through the router.
+func TestDeterminismClusterReplicaParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster parity is not a -short test")
+	}
+	poll := 20 * time.Millisecond
+	workers := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	leader, err := svc.Open(svc.Config{DataDir: t.TempDir(), SketchWorkers: workers[0]})
+	if err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	defer leader.Close()
+	lts := httptest.NewServer(leader)
+	defer lts.Close()
+
+	durable, err := svc.Open(svc.Config{
+		DataDir: t.TempDir(), SketchWorkers: workers[1],
+		FollowURL: lts.URL, FollowPoll: poll,
+	})
+	if err != nil {
+		t.Fatalf("durable follower: %v", err)
+	}
+	defer durable.Close()
+	dts := httptest.NewServer(durable)
+	defer dts.Close()
+
+	inmem, err := svc.Open(svc.Config{
+		SketchWorkers: workers[2],
+		FollowURL:     lts.URL, FollowPoll: poll,
+	})
+	if err != nil {
+		t.Fatalf("in-memory follower: %v", err)
+	}
+	defer inmem.Close()
+	its := httptest.NewServer(inmem)
+	defer its.Close()
+
+	topo, err := cluster.ParseTopology(lts.URL + ";" + dts.URL + ";" + its.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := cluster.NewRouter(cluster.Config{Topology: topo, ProbeEvery: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	rc := svc.NewClient(rts.URL)
+	// Let the router's seed probe sweep mark every node ready before the
+	// first write; an unprobed leader reads as down and writes shed.
+	probeDeadline := time.Now().Add(5 * time.Second)
+	for {
+		if h, err := rc.Health(); err == nil && h.Status == "ok" {
+			break
+		}
+		if time.Now().After(probeDeadline) {
+			t.Fatal("router never reported the shard ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	nodes := map[string]*svc.Client{
+		"leader":             svc.NewClient(lts.URL),
+		"durable-follower":   svc.NewClient(dts.URL),
+		"in-memory-follower": svc.NewClient(its.URL),
+	}
+
+	// The corpus: kernel-adversarial shapes small enough that the dense
+	// engine cells stay cheap under CI's -count=3.
+	rng := rand.New(rand.NewSource(77))
+	corpus := []*graph.Graph{
+		graph.Star(33),
+		graph.Cycle(48),
+		graph.Grid(6, 7),
+		graph.RandomWeights(graph.RandomConnected(56, 224, rng), 16, rng),
+	}
+	var digests []string
+	for gi, g := range corpus {
+		up, err := rc.UploadWire(g, gi%2 == 0)
+		if err != nil {
+			t.Fatalf("uploading corpus graph %d via router: %v", gi, err)
+		}
+		if up.Digest != fmt.Sprintf("%016x", g.Digest()) {
+			t.Fatalf("graph %d: router acknowledged digest %s, client computed %016x", gi, up.Digest, g.Digest())
+		}
+		digests = append(digests, up.Digest)
+	}
+
+	// Both followers must converge on the full replicated set.
+	for name, c := range nodes {
+		name, c := name, c
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			infos, err := c.Graphs()
+			if err == nil && len(infos) == len(corpus) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never converged on %d graphs (last: %d, %v)", name, len(corpus), len(infos), err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	for gi, d := range digests {
+		n := corpus[gi].N()
+		refDia, err := nodes["leader"].Diameter(d)
+		if err != nil {
+			t.Fatalf("leader diameter(%s): %v", d, err)
+		}
+		for _, kernel := range []string{"sparse", "dense"} {
+			req := svc.SketchRequest{
+				Sources: []int{0, 1 % n, (n / 2) % n},
+				L:       n / 2,
+				K:       2,
+				Kernel:  kernel,
+			}
+			ref, err := nodes["leader"].Sketch(d, req)
+			if err != nil {
+				t.Fatalf("leader sketch(%s, %s): %v", d, kernel, err)
+			}
+			for name, c := range nodes {
+				got, err := c.Sketch(d, req)
+				if err != nil {
+					t.Fatalf("%s sketch(%s, %s): %v", name, d, kernel, err)
+				}
+				if got.Den != ref.Den || !reflect.DeepEqual(got.Eccentricities, ref.Eccentricities) {
+					t.Errorf("graph %d kernel %s: %s sketch numerators diverge from the leader's", gi, kernel, name)
+				}
+				dia, err := c.Diameter(d)
+				if err != nil {
+					t.Fatalf("%s diameter(%s): %v", name, d, err)
+				}
+				if dia != refDia {
+					t.Errorf("graph %d: %s answers diameter %d, leader %d", gi, name, dia, refDia)
+				}
+			}
+			via, err := rc.Sketch(d, req)
+			if err != nil {
+				t.Fatalf("router sketch(%s, %s): %v", d, kernel, err)
+			}
+			if via.Den != ref.Den || !reflect.DeepEqual(via.Eccentricities, ref.Eccentricities) {
+				t.Errorf("graph %d kernel %s: the router's answer diverges from the leader's", gi, kernel)
+			}
+		}
 	}
 }

@@ -1,0 +1,107 @@
+package cluster
+
+// The health prober. Every ProbeEvery the router probes each daemon's
+// /healthz and classifies it against the daemons' readiness semantics:
+//
+//	200                      ready  (serving, in sync)
+//	any other HTTP answer    alive  (draining or lagging — the daemon
+//	                                 took itself out of rotation)
+//	transport error          down
+//
+// Readiness drives steady-state routing; the forwarding path does its
+// own per-request failover on top, so a node that dies between probes
+// costs one extra hop, not an error.
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// peer is one daemon's live state inside the router.
+type peer struct {
+	url    string
+	shard  int
+	leader bool
+
+	ready      atomic.Bool
+	alive      atomic.Bool
+	forwards   atomic.Int64
+	errors     atomic.Int64
+	probes     atomic.Int64
+	probeFails atomic.Int64
+}
+
+func (p *peer) role() string {
+	if p.leader {
+		return "leader"
+	}
+	return "replica"
+}
+
+// probeOnce probes one daemon and settles its classification.
+func (rt *Router) probeOnce(ctx context.Context, p *peer) {
+	p.probes.Add(1)
+	ctx, cancel := context.WithTimeout(ctx, rt.probeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+"/healthz", nil)
+	if err != nil {
+		p.ready.Store(false)
+		p.alive.Store(false)
+		p.probeFails.Add(1)
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		p.ready.Store(false)
+		p.alive.Store(false)
+		p.probeFails.Add(1)
+		return
+	}
+	resp.Body.Close()
+	p.alive.Store(true)
+	ok := resp.StatusCode == http.StatusOK
+	p.ready.Store(ok)
+	if !ok {
+		p.probeFails.Add(1)
+	}
+}
+
+// probeAll sweeps every peer concurrently and waits for the sweep.
+func (rt *Router) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, p := range rt.peers {
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			rt.probeOnce(ctx, p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// probeLoop runs the sweep on the configured cadence until Close.
+func (rt *Router) probeLoop() {
+	defer rt.wg.Done()
+	ctx := context.Background()
+	rt.probeAll(ctx) // seed state before the first tick
+	ticker := time.NewTicker(rt.cfg.ProbeEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+			rt.probeAll(ctx)
+		}
+	}
+}
+
+func (rt *Router) probeTimeout() time.Duration {
+	if t := rt.cfg.ProbeEvery; t < 2*time.Second {
+		return 2 * time.Second
+	}
+	return rt.cfg.ProbeEvery
+}

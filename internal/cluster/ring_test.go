@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseTopology(t *testing.T) {
+	topo, err := ParseTopology("http://a:1;http://a2:1 , http://b:1;http://b2:1;http://b3:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Shards) != 2 {
+		t.Fatalf("parsed %d shards, want 2", len(topo.Shards))
+	}
+	if topo.Shards[0].Name != "s0" || topo.Shards[0].Leader() != "http://a:1" || len(topo.Shards[0].Nodes) != 2 {
+		t.Fatalf("shard 0: %+v", topo.Shards[0])
+	}
+	if topo.Shards[1].Leader() != "http://b:1" || len(topo.Shards[1].Nodes) != 3 {
+		t.Fatalf("shard 1: %+v", topo.Shards[1])
+	}
+
+	for _, bad := range []string{
+		"",                       // no shards
+		"http://a:1,,http://b:1", // empty shard
+		"ftp://a:1",              // bad scheme
+		"a:1",                    // not absolute
+		"http://a:1,http://a:1",  // duplicate across shards
+		"http://a:1;http://a:1",  // duplicate within a shard
+	} {
+		if _, err := ParseTopology(bad); err == nil {
+			t.Fatalf("ParseTopology(%q) accepted", bad)
+		}
+	}
+}
+
+// lcg is a cheap deterministic digest stream for placement statistics.
+func lcg(d uint64) uint64 { return d*6364136223846793005 + 1442695040888963407 }
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	topo := Topology{Shards: []Shard{
+		{Name: "s0", Nodes: []string{"http://a"}},
+		{Name: "s1", Nodes: []string{"http://b"}},
+		{Name: "s2", Nodes: []string{"http://c"}},
+	}}
+	r1, r2 := buildRing(topo), buildRing(topo)
+	if !reflect.DeepEqual(r1.points, r2.points) {
+		t.Fatal("ring construction is not deterministic")
+	}
+	const n = 100_000
+	counts := make([]int, len(topo.Shards))
+	d := uint64(12345)
+	for i := 0; i < n; i++ {
+		d = lcg(d)
+		s := r1.shardFor(d)
+		if s != r2.shardFor(d) {
+			t.Fatalf("digest %x assigned differently by identical rings", d)
+		}
+		counts[s]++
+	}
+	for i, c := range counts {
+		// 64 vnodes keep placement within a loose band of uniform; the
+		// bound guards against a broken hash collapsing onto one shard.
+		if c < n/10 {
+			t.Fatalf("shard %d got %d of %d digests — ring badly unbalanced: %v", i, c, n, counts)
+		}
+	}
+}
+
+// TestRingStability pins the consistent-hashing property the design
+// leans on: adding a shard only moves digests onto the new shard —
+// no digest ever migrates between pre-existing shards.
+func TestRingStability(t *testing.T) {
+	two := Topology{Shards: []Shard{
+		{Name: "s0", Nodes: []string{"http://a"}},
+		{Name: "s1", Nodes: []string{"http://b"}},
+	}}
+	three := Topology{Shards: append(append([]Shard{}, two.Shards...), Shard{Name: "s2", Nodes: []string{"http://c"}})}
+	r2, r3 := buildRing(two), buildRing(three)
+	const n = 50_000
+	moved := 0
+	d := uint64(99)
+	for i := 0; i < n; i++ {
+		d = lcg(d)
+		before, after := r2.shardFor(d), r3.shardFor(d)
+		if before != after {
+			if after != 2 {
+				t.Fatalf("digest %x moved between existing shards %d -> %d", d, before, after)
+			}
+			moved++
+		}
+	}
+	// Expect roughly 1/3 of the space to move to the new shard.
+	if moved < n/10 || moved > n*6/10 {
+		t.Fatalf("adding a shard moved %d of %d digests — outside the consistent-hashing band", moved, n)
+	}
+}

@@ -1,0 +1,572 @@
+package cluster
+
+// The digest-routing reverse proxy. Uploads are parsed just far enough
+// to learn the graph's digest (the same codecs and generators the
+// daemons use, so router and daemon can never disagree about identity),
+// the ring maps the digest to a shard, and the request forwards to the
+// shard leader — or is shed with 503 + Retry-After when the leader is
+// down, because acknowledging a write no leader fsynced would break the
+// 2xx-is-a-durability-receipt contract. Reads go to any in-sync replica
+// of the owning shard, rotating for load spread, with per-request
+// failover past dead or stale nodes; the determinism contract (same
+// digest + params ⇒ byte-identical answers everywhere) is what makes
+// any-replica reads sound. Listings fan out and merge; batches split by
+// shard and reassemble in request order.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qcongest/internal/graph"
+	"qcongest/internal/svc"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Topology is the static shard layout (required, non-empty).
+	Topology Topology
+	// ProbeEvery is the health-probe cadence (default 500ms).
+	ProbeEvery time.Duration
+	// MaxBodyBytes caps request bodies (default 64 MiB, matching the
+	// daemons).
+	MaxBodyBytes int64
+	// MaxNodes / MaxEdges bound upload parsing at the router (defaults
+	// match the daemons').
+	MaxNodes, MaxEdges int
+	// Client overrides the forwarding HTTP client (tests).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 500 * time.Millisecond
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 1 << 17
+	}
+	if c.MaxEdges <= 0 {
+		c.MaxEdges = 1 << 21
+	}
+	return c
+}
+
+// shardStats is one shard's routing ledger.
+type shardStats struct {
+	writes        atomic.Int64
+	writeSheds    atomic.Int64
+	reads         atomic.Int64
+	readFailovers atomic.Int64
+	readFailures  atomic.Int64
+	rr            atomic.Uint64 // read rotation cursor
+}
+
+// Router is the cluster proxy; it implements http.Handler.
+type Router struct {
+	cfg        Config
+	ring       *ring
+	peers      []*peer   // flat, topology order
+	shards     [][]*peer // by shard index, leader first
+	shardStats []*shardStats
+	client     *http.Client
+	start      time.Time
+	healthy    atomic.Bool
+	stop       chan struct{}
+	wg         sync.WaitGroup
+}
+
+// NewRouter builds a Router over the topology and starts its health
+// prober. The caller owns Close.
+func NewRouter(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Topology.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: empty topology")
+	}
+	rt := &Router{
+		cfg:    cfg,
+		ring:   buildRing(cfg.Topology),
+		client: cfg.Client,
+		start:  time.Now(),
+		stop:   make(chan struct{}),
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{}
+	}
+	for si, s := range cfg.Topology.Shards {
+		var group []*peer
+		for ni, u := range s.Nodes {
+			p := &peer{url: u, shard: si, leader: ni == 0}
+			rt.peers = append(rt.peers, p)
+			group = append(group, p)
+		}
+		rt.shards = append(rt.shards, group)
+		rt.shardStats = append(rt.shardStats, &shardStats{})
+	}
+	rt.healthy.Store(true)
+	rt.wg.Add(1)
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// SetHealthy flips the router's own /healthz between serving and
+// draining; cmd/qrouter uses it for graceful shutdown.
+func (rt *Router) SetHealthy(ok bool) { rt.healthy.Store(ok) }
+
+// Close stops the health prober. In-flight proxied requests finish on
+// their own contexts.
+func (rt *Router) Close() {
+	close(rt.stop)
+	rt.wg.Wait()
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	if code == http.StatusServiceUnavailable && w.Header().Get("Retry-After") == "" {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, svc.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == "/healthz":
+		rt.handleHealthz(w, r)
+	case path == "/metrics":
+		rt.handleMetrics(w, r)
+	case path == "/v1/cluster":
+		rt.handleCluster(w, r)
+	case path == "/v1/replicate":
+		// Replication is daemon-to-daemon traffic inside a shard; the
+		// router is not a replication source and must not pretend to be.
+		writeError(w, http.StatusNotFound, "/v1/replicate is not proxied; followers talk to their shard leader directly")
+	case path == "/v1/graphs":
+		switch r.Method {
+		case http.MethodGet:
+			rt.handleList(w, r)
+		case http.MethodPost:
+			rt.handleUpload(w, r)
+		default:
+			writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		}
+	case strings.HasPrefix(path, "/v1/graphs/"):
+		rt.handleGraphRead(w, r)
+	case path == "/v1/batch":
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		rt.handleBatch(w, r)
+	default:
+		writeError(w, http.StatusNotFound, "unknown path %s", path)
+	}
+}
+
+// readBody buffers the request body under the configured cap. Buffering
+// is what makes failover possible: a half-streamed body cannot be
+// replayed against the next replica.
+func (rt *Router) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		if _, ok := err.(*http.MaxBytesError); ok {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds the %d-byte limit", rt.cfg.MaxBodyBytes)
+		} else {
+			writeError(w, http.StatusBadRequest, "reading request body: %v", err)
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+// proxied is one fully buffered backend answer — buffered so a 5xx or
+// transport failure can fail over without having leaked half a response
+// to the client.
+type proxied struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// forward sends one request to one daemon and buffers the answer.
+func (rt *Router) forward(ctx context.Context, p *peer, method, uri string, hdr http.Header, body []byte) (*proxied, error) {
+	p.forwards.Add(1)
+	req, err := http.NewRequestWithContext(ctx, method, p.url+uri, bytes.NewReader(body))
+	if err != nil {
+		p.errors.Add(1)
+		return nil, err
+	}
+	for _, h := range []string{"Content-Type", "Accept", "X-API-Key"} {
+		if v := hdr.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		p.errors.Add(1)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		p.errors.Add(1)
+		return nil, err
+	}
+	if resp.StatusCode >= 500 {
+		p.errors.Add(1)
+	}
+	return &proxied{status: resp.StatusCode, header: resp.Header, body: b}, nil
+}
+
+// writeProxied relays a buffered backend answer to the client.
+func (rt *Router) writeProxied(w http.ResponseWriter, resp *proxied) {
+	for _, h := range []string{"Content-Type", "Retry-After", "X-Request-Id"} {
+		if v := resp.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.status)
+	_, _ = w.Write(resp.body)
+}
+
+// readCandidates orders a shard's nodes for one read: ready nodes
+// first, rotated by the shard's cursor so load spreads across replicas,
+// then not-ready-but-configured nodes as a last resort (a lagging
+// replica beats a 503 when it is all that's left — determinism makes
+// its answers correct for every graph it holds).
+func (rt *Router) readCandidates(shard int) []*peer {
+	peers := rt.shards[shard]
+	start := int(rt.shardStats[shard].rr.Add(1) % uint64(len(peers)))
+	ready := make([]*peer, 0, len(peers))
+	var fallback []*peer
+	for i := range peers {
+		p := peers[(start+i)%len(peers)]
+		if p.ready.Load() {
+			ready = append(ready, p)
+		} else {
+			fallback = append(fallback, p)
+		}
+	}
+	return append(ready, fallback...)
+}
+
+// tryShard runs one read against a shard with failover: transport
+// errors and 5xx answers rotate to the next candidate, and a 404
+// rotates too (a lagging replica legitimately lacks graphs its leader
+// holds — only a whole-shard 404 is a real miss). Returns the first
+// conclusive answer, the last inconclusive one, or an error when no
+// node was reachable at all.
+func (rt *Router) tryShard(ctx context.Context, shard int, method, uri string, hdr http.Header, body []byte) (*proxied, error) {
+	st := rt.shardStats[shard]
+	st.reads.Add(1)
+	var last *proxied
+	first := true
+	for _, p := range rt.readCandidates(shard) {
+		if !first {
+			st.readFailovers.Add(1)
+		}
+		first = false
+		resp, err := rt.forward(ctx, p, method, uri, hdr, body)
+		if err != nil {
+			continue
+		}
+		if resp.status >= 500 || resp.status == http.StatusNotFound {
+			last = resp
+			continue
+		}
+		return resp, nil
+	}
+	if last != nil {
+		if last.status >= 500 {
+			st.readFailures.Add(1)
+		}
+		return last, nil
+	}
+	st.readFailures.Add(1)
+	return nil, fmt.Errorf("no node of shard %s is reachable", rt.cfg.Topology.Shards[shard].Name)
+}
+
+// handleUpload routes a write: learn the digest, find the shard,
+// forward to its leader or shed.
+func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	digest, code, err := rt.uploadDigest(r.Header.Get("Content-Type"), body)
+	if err != nil {
+		writeError(w, code, "%v", err)
+		return
+	}
+	shard := rt.ring.shardFor(digest)
+	st := rt.shardStats[shard]
+	leader := rt.shards[shard][0]
+	shed := func(reason string) {
+		st.writeSheds.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			"shard %s leader %s is down (%s); write shed, not accepted — retry",
+			rt.cfg.Topology.Shards[shard].Name, leader.url, reason)
+	}
+	// Sheds are deliberate: a write acknowledged by anything except the
+	// leader's own fsync path would not be a durability receipt.
+	if !leader.ready.Load() && !leader.alive.Load() {
+		shed("probe reports unreachable")
+		return
+	}
+	st.writes.Add(1)
+	resp, err := rt.forward(r.Context(), leader, http.MethodPost, "/v1/graphs"+querySuffix(r), r.Header, body)
+	if err != nil {
+		st.writes.Add(-1)
+		shed(err.Error())
+		return
+	}
+	rt.writeProxied(w, resp)
+}
+
+func querySuffix(r *http.Request) string {
+	if r.URL.RawQuery == "" {
+		return ""
+	}
+	return "?" + r.URL.RawQuery
+}
+
+// uploadDigest parses an upload body exactly as the daemons would —
+// raw binary, raw edge list, or the JSON wrapper with an edge list or
+// generator spec — and returns the graph digest that decides placement.
+func (rt *Router) uploadDigest(contentType string, body []byte) (uint64, int, error) {
+	var g *graph.Graph
+	var err error
+	switch mediaTypeOf(contentType) {
+	case "application/x-qcongest-graph":
+		g, err = graph.ParseBinaryLimits(body, rt.cfg.MaxNodes, rt.cfg.MaxEdges)
+	case "application/x-qcongest-edgelist":
+		g, err = graph.ParseEdgeListLimits(body, rt.cfg.MaxNodes, rt.cfg.MaxEdges)
+	default:
+		var req svc.UploadRequest
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if derr := dec.Decode(&req); derr != nil {
+			return 0, http.StatusBadRequest, fmt.Errorf("bad request body: %w", derr)
+		}
+		switch {
+		case (len(req.EdgeList) == 0) == (req.Gen == nil):
+			return 0, http.StatusBadRequest, fmt.Errorf("set exactly one of \"edgelist\" and \"gen\"")
+		case len(req.EdgeList) > 0:
+			g, err = graph.ParseEdgeListLimits(req.EdgeList, rt.cfg.MaxNodes, rt.cfg.MaxEdges)
+		default:
+			if serr := svc.CheckGenSize(req.Gen, rt.cfg.MaxNodes, rt.cfg.MaxEdges); serr != nil {
+				return 0, http.StatusRequestEntityTooLarge, serr
+			}
+			g, err = svc.GenerateGraph(req.Gen)
+		}
+	}
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "exceeds limit") {
+			code = http.StatusRequestEntityTooLarge
+		}
+		return 0, code, err
+	}
+	return g.Digest(), 0, nil
+}
+
+func mediaTypeOf(v string) string {
+	if v == "" {
+		return ""
+	}
+	mt, _, err := mime.ParseMediaType(v)
+	if err != nil {
+		return strings.ToLower(strings.TrimSpace(v))
+	}
+	return mt
+}
+
+// handleGraphRead routes every /v1/graphs/{digest}[...] request —
+// info, download, exact metrics, sketches — to the owning shard.
+func (rt *Router) handleGraphRead(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/graphs/")
+	digestStr, _, _ := strings.Cut(rest, "/")
+	digest, err := svc.ParseDigest(digestStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	resp, err := rt.tryShard(r.Context(), rt.ring.shardFor(digest), r.Method, r.URL.RequestURI(), r.Header, body)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	rt.writeProxied(w, resp)
+}
+
+// handleList fans GET /v1/graphs across every shard and merges. A shard
+// that cannot answer fails the listing loudly — a silently partial
+// listing would read as deleted graphs.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	var merged []svc.GraphInfo
+	for shard := range rt.shards {
+		resp, err := rt.tryShard(r.Context(), shard, http.MethodGet, "/v1/graphs", r.Header, nil)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "listing: %v", err)
+			return
+		}
+		if resp.status != http.StatusOK {
+			rt.writeProxied(w, resp)
+			return
+		}
+		var page svc.GraphListResponse
+		if err := json.Unmarshal(resp.body, &page); err != nil {
+			writeError(w, http.StatusBadGateway, "shard %s sent an undecodable listing: %v", rt.cfg.Topology.Shards[shard].Name, err)
+			return
+		}
+		merged = append(merged, page.Graphs...)
+	}
+	// Registration order is per-shard and meaningless across shards;
+	// digest order is the deterministic merge.
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Digest < merged[j].Digest })
+	writeJSON(w, http.StatusOK, svc.GraphListResponse{Graphs: merged})
+}
+
+// handleBatch splits a batch by owning shard, sub-batches each, and
+// reassembles results in the original request order.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req svc.BatchRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Digests) == 0 {
+		writeError(w, http.StatusBadRequest, "empty digest list")
+		return
+	}
+	type slot struct {
+		digests []string
+		idx     []int
+	}
+	groups := make(map[int]*slot)
+	for i, ds := range req.Digests {
+		d, err := svc.ParseDigest(ds)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "digest %d: %v", i, err)
+			return
+		}
+		shard := rt.ring.shardFor(d)
+		g := groups[shard]
+		if g == nil {
+			g = &slot{}
+			groups[shard] = g
+		}
+		g.digests = append(g.digests, ds)
+		g.idx = append(g.idx, i)
+	}
+	results := make([]svc.BatchEntry, len(req.Digests))
+	for shard, g := range groups {
+		sub, err := json.Marshal(svc.BatchRequest{Digests: g.digests, Workers: req.Workers, Parallelism: req.Parallelism})
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		hdr := r.Header.Clone()
+		hdr.Set("Content-Type", "application/json")
+		resp, err := rt.tryShard(r.Context(), shard, http.MethodPost, "/v1/batch", hdr, sub)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "batch: %v", err)
+			return
+		}
+		if resp.status != http.StatusOK {
+			rt.writeProxied(w, resp)
+			return
+		}
+		var page svc.BatchResponse
+		if err := json.Unmarshal(resp.body, &page); err != nil || len(page.Results) != len(g.digests) {
+			writeError(w, http.StatusBadGateway, "shard %s sent %d batch results for %d digests (%v)",
+				rt.cfg.Topology.Shards[shard].Name, len(page.Results), len(g.digests), err)
+			return
+		}
+		for j, res := range page.Results {
+			results[g.idx[j]] = res
+		}
+	}
+	writeJSON(w, http.StatusOK, svc.BatchResponse{Results: results})
+}
+
+// handleCluster serves the topology descriptor cluster-aware clients
+// use to find every replica (qload's parity checks read it).
+func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	info := ClusterInfo{}
+	for si, s := range rt.cfg.Topology.Shards {
+		si2 := ShardInfo{Name: s.Name, Leader: s.Leader()}
+		for _, p := range rt.shards[si] {
+			si2.Nodes = append(si2.Nodes, NodeInfo{
+				URL:   p.url,
+				Role:  p.role(),
+				Ready: p.ready.Load(),
+				Alive: p.alive.Load(),
+			})
+		}
+		info.Shards = append(info.Shards, si2)
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	h := RouterHealth{
+		Status:        "ok",
+		Shards:        len(rt.shards),
+		UptimeSeconds: time.Since(rt.start).Seconds(),
+	}
+	for shard := range rt.shards {
+		for _, p := range rt.shards[shard] {
+			if p.ready.Load() {
+				h.ShardsReady++
+				break
+			}
+		}
+	}
+	code := http.StatusOK
+	if h.ShardsReady < h.Shards {
+		h.Status = "degraded" // still 200: the router itself is serving
+	}
+	if !rt.healthy.Load() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}

@@ -1,0 +1,80 @@
+// Package cluster is the sharded-deployment tier over qcongestd: a
+// static topology of shards (each a leader plus WAL-shipped follower
+// replicas, internal/svc follower mode), a consistent-hash ring that
+// assigns every graph digest to exactly one shard, a health prober
+// aligned with the daemons' /healthz readiness semantics, and the
+// digest-routing reverse proxy (router.go) that cmd/qrouter serves.
+//
+// The division of labor with the daemons is strict: daemons own
+// correctness (digest-verified replication, determinism, durability
+// receipts), the router owns placement and availability (which shard a
+// digest lives on, which replica answers a read, when a write must be
+// shed). The router holds no graph state at all — restarting it loses
+// nothing.
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// Shard is one replication group: a leader that accepts writes and
+// serves /v1/replicate, plus zero or more followers tailing it.
+type Shard struct {
+	// Name is the shard's stable identity on the ring and in metrics
+	// ("s0", "s1", … by position). Hashing the name rather than the
+	// node URLs keeps placement stable when a shard's nodes move.
+	Name string
+	// Nodes are the shard's base URLs; Nodes[0] is the leader.
+	Nodes []string
+}
+
+// Leader returns the shard's write endpoint.
+func (s Shard) Leader() string { return s.Nodes[0] }
+
+// Topology is the full static cluster layout.
+type Topology struct {
+	Shards []Shard
+}
+
+// ParseTopology parses the -peers flag format: shards separated by
+// commas, replicas within a shard separated by semicolons, the first
+// replica of each shard its leader.
+//
+//	http://a:8080;http://a2:8080,http://b:8080;http://b2:8080
+//
+// declares two shards of two nodes each. Every node must be an
+// absolute http(s) base URL and may appear in only one position.
+func ParseTopology(spec string) (Topology, error) {
+	var t Topology
+	seen := make(map[string]string)
+	for i, shardSpec := range strings.Split(spec, ",") {
+		name := fmt.Sprintf("s%d", i)
+		var nodes []string
+		for _, raw := range strings.Split(shardSpec, ";") {
+			raw = strings.TrimSpace(raw)
+			if raw == "" {
+				continue
+			}
+			u, err := url.Parse(raw)
+			if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+				return Topology{}, fmt.Errorf("cluster: peer %q is not an absolute http(s) base URL", raw)
+			}
+			node := strings.TrimRight(raw, "/")
+			if prev, dup := seen[node]; dup {
+				return Topology{}, fmt.Errorf("cluster: peer %s listed in both %s and %s", node, prev, name)
+			}
+			seen[node] = name
+			nodes = append(nodes, node)
+		}
+		if len(nodes) == 0 {
+			return Topology{}, fmt.Errorf("cluster: shard %d of %q has no nodes", i, spec)
+		}
+		t.Shards = append(t.Shards, Shard{Name: name, Nodes: nodes})
+	}
+	if len(t.Shards) == 0 {
+		return Topology{}, fmt.Errorf("cluster: empty topology %q", spec)
+	}
+	return t, nil
+}

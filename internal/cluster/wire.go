@@ -1,0 +1,96 @@
+package cluster
+
+// The router's own JSON surfaces: /v1/cluster (the topology descriptor
+// cluster-aware clients like qload -mix cluster use to find every
+// replica), /healthz, and the JSON half of /metrics.
+
+// NodeInfo is one daemon's entry in the /v1/cluster descriptor.
+type NodeInfo struct {
+	// URL is the daemon's base URL.
+	URL string `json:"url"`
+	// Role is "leader" or "replica".
+	Role string `json:"role"`
+	// Ready reports the last probe answered 200 (serving and in sync).
+	Ready bool `json:"ready"`
+	// Alive reports the last probe got any HTTP answer at all (a
+	// draining or lagging node is alive but not ready).
+	Alive bool `json:"alive"`
+}
+
+// ShardInfo is one shard's entry in the /v1/cluster descriptor.
+type ShardInfo struct {
+	// Name is the shard's ring identity.
+	Name string `json:"name"`
+	// Leader is the shard's write endpoint.
+	Leader string `json:"leader"`
+	// Nodes lists every replica, leader first.
+	Nodes []NodeInfo `json:"nodes"`
+}
+
+// ClusterInfo answers GET /v1/cluster.
+type ClusterInfo struct {
+	// Shards lists the full static topology with live probe state.
+	Shards []ShardInfo `json:"shards"`
+}
+
+// RouterHealth answers GET /healthz on the router.
+type RouterHealth struct {
+	// Status is "ok" when every shard has a ready node, "degraded"
+	// when some shard has none (both HTTP 200 — the router itself is
+	// serving), "draining" during shutdown (HTTP 503).
+	Status string `json:"status"`
+	// Shards is the configured shard count.
+	Shards int `json:"shards"`
+	// ShardsReady counts shards with at least one ready node.
+	ShardsReady int `json:"shardsReady"`
+	// UptimeSeconds is the time since the router started.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+// ShardMetrics is one shard's routing ledger within /metrics.
+type ShardMetrics struct {
+	// Name is the shard's ring identity.
+	Name string `json:"name"`
+	// Writes counts uploads routed to the shard's leader.
+	Writes int64 `json:"writes"`
+	// WriteSheds counts uploads shed with 503 because the leader was
+	// not ready (shed, never silently dropped: the client owns retry).
+	WriteSheds int64 `json:"writeSheds"`
+	// Reads counts read requests routed into the shard.
+	Reads int64 `json:"reads"`
+	// ReadFailovers counts reads that had to try more than one node.
+	ReadFailovers int64 `json:"readFailovers"`
+	// ReadFailures counts reads that exhausted every node.
+	ReadFailures int64 `json:"readFailures"`
+}
+
+// PeerMetrics is one daemon's forwarding/probe ledger within /metrics.
+type PeerMetrics struct {
+	// URL is the daemon's base URL.
+	URL string `json:"url"`
+	// Shard is the owning shard's name.
+	Shard string `json:"shard"`
+	// Role is "leader" or "replica".
+	Role string `json:"role"`
+	// Forwards counts requests proxied to this daemon.
+	Forwards int64 `json:"forwards"`
+	// Errors counts proxied requests that failed (transport error or
+	// 5xx answer).
+	Errors int64 `json:"errors"`
+	// Probes / ProbeFails count health probes and their failures.
+	Probes     int64 `json:"probes"`
+	ProbeFails int64 `json:"probeFails"`
+	// Ready / Alive mirror the probe state (see NodeInfo).
+	Ready bool `json:"ready"`
+	Alive bool `json:"alive"`
+}
+
+// RouterMetrics answers GET /metrics on the router (JSON view).
+type RouterMetrics struct {
+	// UptimeSeconds is the time since the router started.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// Shards holds one routing ledger per shard, topology order.
+	Shards []ShardMetrics `json:"shards"`
+	// Peers holds one forwarding ledger per daemon, topology order.
+	Peers []PeerMetrics `json:"peers"`
+}

@@ -53,12 +53,16 @@ func (p *SketchParams) clone() *SketchParams {
 
 // manifestGraph is one snapshotted graph's manifest entry.
 type manifestGraph struct {
-	Digest    string          `json:"digest"`
-	N         int             `json:"n"`
-	M         int             `json:"m"`
-	Gen       json.RawMessage `json:"gen,omitempty"`
-	LastQuery uint64          `json:"lastQuery,omitempty"`
-	Sketch    *SketchParams   `json:"sketch,omitempty"`
+	Digest string          `json:"digest"`
+	N      int             `json:"n"`
+	M      int             `json:"m"`
+	Gen    json.RawMessage `json:"gen,omitempty"`
+	// Seq is the append sequence the graph originally committed at —
+	// the replication cursor identity, preserved across snapshot folds.
+	// 0 in pre-PR 9 manifests (recovery synthesizes ordinals).
+	Seq       uint64        `json:"seq,omitempty"`
+	LastQuery uint64        `json:"lastQuery,omitempty"`
+	Sketch    *SketchParams `json:"sketch,omitempty"`
 }
 
 // manifest is the root document (manifest.json).
@@ -98,6 +102,9 @@ func parseManifest(data []byte) (*manifest, error) {
 		}
 		if mg.N < 0 || mg.M < 0 {
 			return nil, fmt.Errorf("store: manifest graph %s declares negative shape n=%d m=%d", mg.Digest, mg.N, mg.M)
+		}
+		if mg.Seq > m.SnapshotSeq {
+			return nil, fmt.Errorf("store: manifest graph %s declares seq %d beyond snapshot seq %d", mg.Digest, mg.Seq, m.SnapshotSeq)
 		}
 		if err := validateSketchShape(mg.Sketch, mg.N); err != nil {
 			return nil, fmt.Errorf("store: manifest graph %s: %w", mg.Digest, err)

@@ -145,19 +145,21 @@ const (
 var snapIndexMagic = [8]byte{'Q', 'C', 'S', 'I', 'D', 'X', '0', '1'}
 
 // encodeSnapshot renders the snapshot file body: every graph as a
-// framed record (seq = registration index; snapshot record seqs only
-// order the file, the manifest's SnapshotSeq is what replay compares
-// log records against), then the index footer.
+// framed record carrying its original append sequence (folding must not
+// erase the replication cursor identity — a replica resuming below
+// SnapshotSeq is served snapshot records re-framed at their true seqs),
+// then the index footer. Replay still compares log records against the
+// manifest's SnapshotSeq, not the per-record seqs.
 func encodeSnapshot(recs []*graphRec, codec string) ([]byte, error) {
 	var buf bytes.Buffer
 	index := make([]byte, 0, len(recs)*snapIndexEntryLen)
-	for i, r := range recs {
+	for _, r := range recs {
 		payload, err := encodeGraphPayload(r.digest, r.gen, r.g, codec)
 		if err != nil {
 			return nil, err
 		}
 		off := int64(buf.Len())
-		n, err := appendRecord(&buf, uint64(i), recGraph, payload)
+		n, err := appendRecord(&buf, r.seq, recGraph, payload)
 		if err != nil {
 			return nil, err
 		}
@@ -221,7 +223,7 @@ func readSnapshot(path string, maxNodes, maxEdges int) (recs []*graphRec, failur
 				quarantine(i, fmt.Errorf("store: snapshot index entry %d out of bounds", i), nil)
 				continue
 			}
-			_, kind, payload, err := parseFramedRecord(data[off : off+n])
+			seq, kind, payload, err := parseFramedRecord(data[off : off+n])
 			if err != nil {
 				quarantine(i, err, data[off:off+n])
 				continue
@@ -235,7 +237,7 @@ func readSnapshot(path string, maxNodes, maxEdges int) (recs []*graphRec, failur
 				quarantine(i, err, payload)
 				continue
 			}
-			recs = append(recs, &graphRec{g: g, digest: digest, gen: gen})
+			recs = append(recs, &graphRec{g: g, digest: digest, gen: gen, seq: seq})
 		}
 		return recs, failures
 	}
@@ -251,7 +253,7 @@ func readSnapshot(path string, maxNodes, maxEdges int) (recs []*graphRec, failur
 			failures = append(failures, recFailure{name: fmt.Sprintf("snapshot-rec-%d", seq), err: err, raw: payload})
 			return nil
 		}
-		recs = append(recs, &graphRec{g: g, digest: digest, gen: gen})
+		recs = append(recs, &graphRec{g: g, digest: digest, gen: gen, seq: seq})
 		return nil
 	})
 	if scanErr != nil {

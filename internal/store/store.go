@@ -102,6 +102,7 @@ type graphRec struct {
 	g          *graph.Graph
 	digest     uint64
 	gen        json.RawMessage
+	seq        uint64 // append sequence the graph committed at
 	lastQuery  uint64 // sequence clock of the most recent query
 	lastLogged uint64 // sequence of the last logged touch record
 	sketch     *SketchParams
@@ -205,6 +206,14 @@ type Store struct {
 	rotating     bool
 	inFlight     map[uint64]chan struct{}
 
+	// headSeq is the highest committed graph sequence (touch records
+	// consume sequence numbers too but are unsynced and excluded from
+	// replication, so the replication head tracks graphs only).
+	// replNotify is closed and replaced whenever headSeq advances, so
+	// /v1/replicate long-polls wake without polling.
+	headSeq    uint64
+	replNotify chan struct{}
+
 	appendsSinceSnap int
 	hintsDirty       bool // any touch (logged or not) since the last fold
 	quarantined      int
@@ -238,11 +247,12 @@ func Open(opts Options) (*Store, []RecoveredGraph, RecoveryStats, error) {
 		return nil, nil, stats, err
 	}
 	s := &Store{
-		dir:      opts.Dir,
-		opts:     opts,
-		lock:     lock,
-		byDigest: make(map[uint64]*graphRec),
-		inFlight: make(map[uint64]chan struct{}),
+		dir:        opts.Dir,
+		opts:       opts,
+		lock:       lock,
+		byDigest:   make(map[uint64]*graphRec),
+		inFlight:   make(map[uint64]chan struct{}),
+		replNotify: make(chan struct{}),
 	}
 	s.syncCond = sync.NewCond(&s.mu)
 	fail := func(err error) (*Store, []RecoveredGraph, RecoveryStats, error) {
@@ -344,6 +354,7 @@ func (s *Store) loadSnapshot(man *manifest, stats *RecoveryStats) {
 		s.quarantine(f.name, f.raw, f.err)
 		stats.Quarantined++
 	}
+	ordinal := uint64(0)
 	for _, r := range recs {
 		mg, ok := blessed[r.digest]
 		if !ok {
@@ -354,6 +365,19 @@ func (s *Store) loadSnapshot(man *manifest, stats *RecoveryStats) {
 		}
 		if _, dup := s.byDigest[r.digest]; dup {
 			continue
+		}
+		ordinal++
+		if mg.Seq != 0 {
+			// The manifest's blessing carries the original append
+			// sequence, which is the replication cursor identity.
+			r.seq = mg.Seq
+		} else if r.seq == 0 {
+			// Pre-PR 9 manifest: original sequences are gone. Synthesize
+			// ascending ordinals — each append consumed a sequence step,
+			// so ordinal <= SnapshotSeq and a fresh replica (cursor 0)
+			// still receives every graph; the first fold under this build
+			// re-blesses the synthetic values as real ones.
+			r.seq = ordinal
 		}
 		r.lastQuery = mg.LastQuery
 		if validateSketchShape(mg.Sketch, r.g.N()) == nil {
@@ -436,7 +460,7 @@ func (s *Store) applyRecord(seq uint64, kind string, payload []byte, stats *Reco
 		if _, dup := s.byDigest[digest]; dup {
 			return
 		}
-		s.register(&graphRec{g: g, digest: digest, gen: gen})
+		s.register(&graphRec{g: g, digest: digest, gen: gen, seq: seq})
 		stats.LogGraphs++
 	case recTouch:
 		digest, sk, err := decodeTouchPayload(payload)
@@ -456,9 +480,17 @@ func (s *Store) applyRecord(seq uint64, kind string, payload []byte, stats *Reco
 	}
 }
 
+// register adds a committed graph to the resident set and advances the
+// replication head, waking any /v1/replicate long-polls. Called with mu
+// held.
 func (s *Store) register(r *graphRec) {
 	s.graphs = append(s.graphs, r)
 	s.byDigest[r.digest] = r
+	if r.seq > s.headSeq {
+		s.headSeq = r.seq
+		close(s.replNotify)
+		s.replNotify = make(chan struct{})
+	}
 }
 
 // removeOrphans garbage-collects snapshot files a crash left
@@ -622,7 +654,7 @@ func (s *Store) AppendGraph(g *graph.Graph, gen json.RawMessage) error {
 	if syncErr != nil {
 		s.failed = fmt.Errorf("store: appending graph %s: %w", formatDigest(digest), syncErr)
 	} else {
-		s.register(&graphRec{g: g, digest: digest, gen: append(json.RawMessage(nil), gen...)})
+		s.register(&graphRec{g: g, digest: digest, gen: append(json.RawMessage(nil), gen...), seq: seq})
 		s.appends++
 		s.appendsSinceSnap++
 		needSnap = s.opts.SnapshotEvery > 0 && s.appendsSinceSnap >= s.opts.SnapshotEvery
@@ -785,6 +817,7 @@ func (s *Store) stageSnapshot() (*snapJob, error) {
 			N:         r.g.N(),
 			M:         r.g.M(),
 			Gen:       r.gen,
+			Seq:       r.seq,
 			LastQuery: r.lastQuery,
 			Sketch:    r.sketch,
 		}

@@ -1,0 +1,236 @@
+package svc
+
+// The follower side of replication. A follower is a read-only replica
+// of one leader: a background loop long-polls GET /v1/replicate from
+// its catch-up cursor, digest-verifies every shipped graph, commits it
+// locally (fsynced via store.ApplyReplicated when the follower is
+// durable, registry-only when it runs in memory), and advances the
+// cursor only past records that fully applied. Any verification or
+// apply failure aborts the round without advancing the cursor, so a
+// misbehaving stream turns into visible lag (and a failed readiness
+// check) rather than a silently diverged replica.
+//
+// The determinism contract is what makes follower reads safe: the same
+// digest with the same parameters answers byte-identically on any node,
+// so a replica that holds a graph serves exactly the leader's numbers.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qcongest/internal/graph"
+	"qcongest/internal/store"
+)
+
+const (
+	// replWaitMs is the long-poll park the follower requests per round.
+	replWaitMs = 5_000
+	// replRoundTimeout bounds one full catch-up round (park + stream).
+	replRoundTimeout = 60 * time.Second
+)
+
+// replState is a follower's replication ledger and loop handle.
+type replState struct {
+	leader string
+	maxLag uint64
+	poll   time.Duration
+	client *http.Client
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	// cursor is the highest fully applied sequence; head is the
+	// leader's last reported head. Lag = head - cursor.
+	cursor      atomic.Uint64
+	head        atomic.Uint64
+	applied     atomic.Int64
+	skipped     atomic.Int64
+	rejected    atomic.Int64
+	streamErrs  atomic.Int64
+	lastApply   atomic.Int64 // unix nanos of the last applied record
+	lastContact atomic.Int64 // unix nanos of the last leader 200
+}
+
+// startFollower validates cfg.FollowURL, seeds the cursor from local
+// durable state, and launches the catch-up loop. Called by Open only.
+func (s *Server) startFollower() error {
+	u, err := url.Parse(s.cfg.FollowURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return fmt.Errorf("svc: FollowURL %q is not an absolute http(s) base URL", s.cfg.FollowURL)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rp := &replState{
+		leader: strings.TrimRight(s.cfg.FollowURL, "/"),
+		maxLag: s.cfg.MaxLagSeq,
+		poll:   s.cfg.FollowPoll,
+		client: &http.Client{},
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	if s.store != nil {
+		// Every recovered graph sits at its original leader sequence, so
+		// the post-recovery clock is the resume point. The clock (not the
+		// graph head) is authoritative: a dir that once logged local
+		// records may have consumed sequences past its last graph, and
+		// ApplyReplicated will refuse anything at or below it.
+		cur := s.store.ReplicationHead()
+		if last := s.recovery.LastSeq; last > cur {
+			cur = last
+		}
+		rp.cursor.Store(cur)
+		rp.head.Store(cur)
+	}
+	s.repl = rp
+	rp.wg.Add(1)
+	go func() {
+		defer rp.wg.Done()
+		s.followLoop()
+	}()
+	return nil
+}
+
+// followLoop drives catch-up rounds until Close cancels it. A round
+// that applied something re-polls immediately (the leader likely has
+// more); an idle or failed round backs off by cfg.FollowPoll.
+func (s *Server) followLoop() {
+	rp := s.repl
+	for {
+		applied, err := s.replicateOnce()
+		if rp.ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			rp.streamErrs.Add(1)
+		}
+		if err != nil || applied == 0 {
+			select {
+			case <-rp.ctx.Done():
+				return
+			case <-time.After(rp.poll):
+			}
+		}
+	}
+}
+
+// replicateOnce runs one catch-up round: long-poll the leader from the
+// cursor, record its head, and apply the streamed records in order.
+func (s *Server) replicateOnce() (applied int64, err error) {
+	rp := s.repl
+	ctx, cancel := context.WithTimeout(rp.ctx, replRoundTimeout)
+	defer cancel()
+	u := fmt.Sprintf("%s/v1/replicate?from=%d&wait=%d", rp.leader, rp.cursor.Load(), replWaitMs)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := rp.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		// Drain a bounded remainder so the connection can be reused.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("svc: leader %s answered %d to /v1/replicate", rp.leader, resp.StatusCode)
+	}
+	rp.lastContact.Store(time.Now().UnixNano())
+	if h, perr := strconv.ParseUint(resp.Header.Get(replHeadHeader), 10, 64); perr == nil {
+		for {
+			cur := rp.head.Load()
+			if h <= cur || rp.head.CompareAndSwap(cur, h) {
+				break
+			}
+		}
+	}
+	return s.consumeReplicationStream(resp.Body)
+}
+
+// consumeReplicationStream applies one replication stream to this
+// follower. Invariants, fuzz-pinned by FuzzReplicationStream:
+//
+//   - a record becomes visible only after its frame CRC held, its
+//     payload's recomputed digest matched, and (durable followers) its
+//     local fsync settled;
+//   - the cursor advances monotonically and only past applied records,
+//     so duplicates and reordered-below-cursor frames are skipped, a
+//     rejected record stops the round with the committed prefix intact,
+//     and a torn tail is reported, never applied;
+//   - garbage never panics: the frame scanner bounds and checksums
+//     every read, and the graph decoders enforce the configured limits
+//     before allocating.
+func (s *Server) consumeReplicationStream(r io.Reader) (applied int64, err error) {
+	rp := s.repl
+	outcome, err := store.ScanStream(r, func(seq uint64, kind string, payload []byte) error {
+		if kind != store.RecordGraph {
+			rp.skipped.Add(1) // leaders never ship these; tolerate, don't apply
+			return nil
+		}
+		if seq <= rp.cursor.Load() {
+			rp.skipped.Add(1) // duplicate or reordered below the cursor
+			return nil
+		}
+		if aerr := s.applyReplicatedRecord(seq, payload); aerr != nil {
+			rp.rejected.Add(1)
+			return aerr
+		}
+		rp.cursor.Store(seq)
+		rp.applied.Add(1)
+		rp.lastApply.Store(time.Now().UnixNano())
+		for { // the leader's head is at least what it shipped
+			cur := rp.head.Load()
+			if seq <= cur || rp.head.CompareAndSwap(cur, seq) {
+				break
+			}
+		}
+		applied++
+		return nil
+	})
+	if err != nil {
+		return applied, err
+	}
+	if outcome.Torn {
+		return applied, fmt.Errorf("svc: torn replication stream after %d bytes: %w", outcome.Good, outcome.TornErr)
+	}
+	return applied, nil
+}
+
+// applyReplicatedRecord commits one verified graph record: through the
+// store (decode, digest-verify, append, fsync, register) on durable
+// followers, by direct decode on in-memory ones, then into the serving
+// registry either way. The registry entry's durable latch settles
+// immediately — on a follower, "durable" means "the leader acknowledged
+// it", and the leader only streams fsynced records.
+func (s *Server) applyReplicatedRecord(seq uint64, payload []byte) error {
+	var g *graph.Graph
+	if s.store != nil {
+		var err error
+		g, _, err = s.store.ApplyReplicated(seq, payload)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		_, _, g, err = store.DecodeGraphRecord(payload, s.cfg.MaxNodes, s.cfg.MaxEdges)
+		if err != nil {
+			return err
+		}
+	}
+	e, created, err := s.reg.put(g)
+	if err != nil {
+		return err // registry full: visible as lag + readiness failure
+	}
+	if created {
+		close(e.durable)
+	}
+	return nil
+}

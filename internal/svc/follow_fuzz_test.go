@@ -1,0 +1,127 @@
+package svc
+
+// FuzzReplicationStream throws arbitrary bytes at the follower apply
+// path — the satellite-3 offensive. The invariants (also documented on
+// consumeReplicationStream): no input panics the follower; nothing
+// enters the registry without passing the frame CRC, the graph decode
+// limits, and the digest recomputation; the cursor only moves forward,
+// and only past fully applied records; and a hostile stream never
+// poisons an already committed prefix.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"qcongest/internal/graph"
+	"qcongest/internal/store"
+)
+
+// fuzzFollower builds an in-memory follower with a hand-wired
+// replication state — no leader, no loop; the fuzz target feeds the
+// stream consumer directly.
+func fuzzFollower() *Server {
+	s := New(Config{MaxNodes: 1 << 12, MaxEdges: 1 << 14})
+	s.repl = &replState{leader: "http://fuzz", maxLag: 1024, poll: time.Millisecond}
+	return s
+}
+
+// checkFollowerInvariants asserts the structural invariants that must
+// hold after consuming any stream whatsoever.
+func checkFollowerInvariants(t *testing.T, s *Server, cursorBefore uint64) {
+	t.Helper()
+	rp := s.repl
+	if c := rp.cursor.Load(); c < cursorBefore {
+		t.Fatalf("cursor moved backwards: %d -> %d", cursorBefore, c)
+	}
+	if n := int64(s.reg.len()); n > rp.applied.Load() {
+		t.Fatalf("%d resident graphs but only %d applied records", n, rp.applied.Load())
+	}
+	// Every resident graph re-digests to its registry address: nothing
+	// got in without surviving verification.
+	for _, info := range s.reg.list() {
+		d, err := ParseDigest(info.Digest)
+		if err != nil {
+			t.Fatalf("registry digest %q unparsable: %v", info.Digest, err)
+		}
+		e, ok := s.reg.get(d)
+		if !ok {
+			t.Fatalf("listed digest %s not resident", info.Digest)
+		}
+		if e.g.Digest() != d {
+			t.Fatalf("resident graph re-digests to %016x, registered as %s", e.g.Digest(), info.Digest)
+		}
+	}
+}
+
+func FuzzReplicationStream(f *testing.F) {
+	// A genuine leader stream as seed corpus material: three graphs
+	// through a real durable store, framed exactly as /v1/replicate
+	// frames them.
+	leader, _, _, err := store.Open(store.Options{Dir: f.TempDir()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer leader.Close()
+	for _, g := range []*graph.Graph{graph.Path(8), graph.Star(5), graph.Cycle(7)} {
+		if err := leader.AppendGraph(g, nil); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var valid bytes.Buffer
+	if _, _, err := leader.ReplicationStream(0, &valid); err != nil {
+		f.Fatal(err)
+	}
+	stream := valid.Bytes()
+
+	f.Add(stream)                                         // clean stream
+	f.Add(stream[:len(stream)/2])                         // torn mid-record
+	f.Add(append(append([]byte{}, stream...), stream...)) // full duplicate (reordered/stale seqs)
+	corrupted := append([]byte{}, stream...)
+	corrupted[len(corrupted)/3] ^= 0x80
+	f.Add(corrupted) // bit flip inside a frame
+	f.Add([]byte("rec 1 graph 4 12345\nXXXX\n"))
+	f.Add([]byte("not a stream at all"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Arbitrary bytes into a fresh follower.
+		s := fuzzFollower()
+		before := s.repl.cursor.Load()
+		_, _ = s.consumeReplicationStream(bytes.NewReader(data))
+		checkFollowerInvariants(t, s, before)
+
+		// Determinism: the same bytes replayed into another fresh
+		// follower land in exactly the same state.
+		s2 := fuzzFollower()
+		_, _ = s2.consumeReplicationStream(bytes.NewReader(data))
+		if s2.repl.cursor.Load() != s.repl.cursor.Load() ||
+			s2.repl.applied.Load() != s.repl.applied.Load() ||
+			s2.reg.len() != s.reg.len() {
+			t.Fatalf("same stream, diverged followers: cursor %d/%d applied %d/%d graphs %d/%d",
+				s.repl.cursor.Load(), s2.repl.cursor.Load(),
+				s.repl.applied.Load(), s2.repl.applied.Load(),
+				s.reg.len(), s2.reg.len())
+		}
+
+		// Committed-prefix safety: a follower that already applied the
+		// real stream keeps every graph — and their digests — no matter
+		// what arrives afterwards.
+		s3 := fuzzFollower()
+		if _, err := s3.consumeReplicationStream(bytes.NewReader(stream)); err != nil {
+			t.Fatalf("clean stream refused: %v", err)
+		}
+		wantGraphs := s3.reg.len()
+		cursorAfterClean := s3.repl.cursor.Load()
+		_, _ = s3.consumeReplicationStream(bytes.NewReader(data))
+		checkFollowerInvariants(t, s3, cursorAfterClean)
+		if s3.reg.len() < wantGraphs {
+			t.Fatalf("hostile stream evicted committed graphs: %d -> %d", wantGraphs, s3.reg.len())
+		}
+		for _, g := range []*graph.Graph{graph.Path(8), graph.Star(5), graph.Cycle(7)} {
+			if _, ok := s3.reg.get(g.Digest()); !ok {
+				t.Fatalf("committed graph %016x lost after hostile stream", g.Digest())
+			}
+		}
+	})
+}

@@ -30,6 +30,13 @@ const maxEpsT = 1 << 20
 // bucket check runs inside the ledger so 429s show up in the class's
 // 4xx counts and latency histogram like every other rejection.
 func (s *Server) instrument(class string, h http.HandlerFunc) http.HandlerFunc {
+	return s.instrumentOpts(class, true, h)
+}
+
+// instrumentOpts is instrument with the rate limiter made optional:
+// /v1/replicate is metered but never limited, because follower catch-up
+// traffic carries no API key and throttling it only manufactures lag.
+func (s *Server) instrumentOpts(class string, limited bool, h http.HandlerFunc) http.HandlerFunc {
 	c := s.metrics.class(class)
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec, ok := w.(*responseState)
@@ -46,7 +53,7 @@ func (s *Server) instrument(class string, h http.HandlerFunc) http.HandlerFunc {
 			c.inFlight.Add(-1)
 			c.observe(time.Since(start), rec.status)
 		}()
-		if s.limiter != nil {
+		if limited && s.limiter != nil {
 			if retry, allowed := s.limiter.allow(apiKeyOf(r)); !allowed {
 				rec.Header().Set("Retry-After", strconv.Itoa(retry))
 				writeError(rec, http.StatusTooManyRequests,
@@ -133,6 +140,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	code := http.StatusOK
+	resp.Replication = s.replicationStatus()
+	if rp := resp.Replication; rp != nil && rp.SeqDelta > rp.MaxLagSeq && rp.MaxLagSeq > 0 {
+		// A follower too far behind its leader must fail readiness: its
+		// answers are correct (determinism is per-digest) but its graph
+		// set is stale, and the router's any-replica reads depend on
+		// lagging replicas taking themselves out of rotation.
+		resp.Status = "lagging"
+		code = http.StatusServiceUnavailable
+	}
 	if !s.healthy.Load() {
 		resp.Status = "draining"
 		code = http.StatusServiceUnavailable
@@ -229,6 +245,16 @@ func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request, e *entr
 }
 
 func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
+	// Followers are read-only: every graph arrives over the replication
+	// stream, and accepting a direct upload here would fork the replica
+	// set (the leader would never ship this digest, so no other replica
+	// converges to it). 403, not 503 — retrying against this node can
+	// never succeed; the error names where writes go.
+	if s.repl != nil {
+		writeError(w, http.StatusForbidden,
+			"this node is a read-only follower; send writes to the leader at %s", s.repl.leader)
+		return
+	}
 	// Raw uploads skip the JSON wrapper entirely: the body IS the graph,
 	// streamed through the codec's incremental framer. Unrecognized
 	// Content-Types (including none) stay on the JSON path so pre-PR 8
@@ -390,7 +416,16 @@ func (s *Server) finishCreateGraph(w http.ResponseWriter, r *http.Request, key s
 // Negative or unknown-kind parameters fall through — generate reports
 // those with the generator's own message.
 func (s *Server) checkGenSize(spec *GenSpec) error {
-	maxN, maxM := int64(s.cfg.MaxNodes), int64(s.cfg.MaxEdges)
+	return CheckGenSize(spec, s.cfg.MaxNodes, s.cfg.MaxEdges)
+}
+
+// CheckGenSize is the upload path's pre-generation size gate, exported
+// for the cluster router: anyone who must materialize a GenSpec to
+// learn its digest needs the same refuse-before-allocating bound the
+// daemon applies, or a crafted spec turns the router into the bomb the
+// daemon refuses to be.
+func CheckGenSize(spec *GenSpec, maxNodes, maxEdges int) error {
+	maxN, maxM := int64(maxNodes), int64(maxEdges)
 	// Bound every raw factor first so the size formulas below cannot
 	// overflow (products of two factors each <= 2^30 fit int64 easily).
 	lim := maxN
@@ -449,6 +484,13 @@ func (s *Server) checkGenSize(spec *GenSpec) error {
 	}
 	return nil
 }
+
+// GenerateGraph materializes a generator spec exactly as POST
+// /v1/graphs with "gen" would — same generators, same seed handling,
+// same digest. Exported for the cluster router, which must compute a
+// gen upload's digest to pick its shard before any daemon has seen the
+// spec.
+func GenerateGraph(spec *GenSpec) (*graph.Graph, error) { return generate(spec) }
 
 // generate runs a GenSpec through the graph generators. The generators
 // report invalid parameters by panicking; that is recovered into a

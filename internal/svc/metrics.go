@@ -10,13 +10,14 @@ import (
 // Request classes for metrics and admission. Every routed endpoint
 // belongs to exactly one class; /healthz and /metrics are unmetered.
 const (
-	classUpload = "upload" // POST /v1/graphs
-	classQuery  = "query"  // graph listings, info, exact metrics
-	classSketch = "sketch" // POST /v1/graphs/{digest}/sketch
-	classBatch  = "batch"  // POST /v1/batch
+	classUpload    = "upload"    // POST /v1/graphs
+	classQuery     = "query"     // graph listings, info, exact metrics
+	classSketch    = "sketch"    // POST /v1/graphs/{digest}/sketch
+	classBatch     = "batch"     // POST /v1/batch
+	classReplicate = "replicate" // GET /v1/replicate (follower catch-up)
 )
 
-var allClasses = []string{classUpload, classQuery, classSketch, classBatch}
+var allClasses = []string{classUpload, classQuery, classSketch, classBatch, classReplicate}
 
 // latencyBuckets is the histogram resolution: bucket i counts requests
 // with latency in [2^i, 2^(i+1)) microseconds, so the range spans 1 µs
@@ -144,6 +145,7 @@ func (s *Server) snapshot() MetricsSnapshot {
 	if s.limiter != nil {
 		snap.RateLimits = s.limiter.stats()
 	}
+	snap.Replication = s.replicationStatus()
 	if s.store != nil {
 		ss := s.store.Stats()
 		snap.Store = &StoreMetrics{

@@ -35,6 +35,14 @@ func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := newServer(cfg)
 	if cfg.DataDir == "" {
+		if cfg.FollowURL != "" {
+			// In-memory follower: graphs apply to the registry only
+			// (digest-verified but not persisted locally); a restart
+			// re-tails the leader from zero.
+			if err := s.startFollower(); err != nil {
+				return nil, err
+			}
+		}
 		return s, nil
 	}
 	st, recovered, stats, err := store.Open(store.Options{
@@ -87,6 +95,15 @@ func Open(cfg Config) (*Server, error) {
 			defer s.warmWG.Done()
 			s.warmup(entries)
 		}()
+	}
+	if cfg.FollowURL != "" {
+		// Durable follower: resume the catch-up cursor from the local
+		// sequence clock (every recovered graph sits at its original
+		// leader sequence, so the clock IS the replication position).
+		if err := s.startFollower(); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -178,9 +195,14 @@ func (s *Server) awaitDurable(ctx context.Context, e *entry) error {
 }
 
 // touch records query recency (and the sketch tuple, for sketch
-// queries) as a warm-start hint. Free on in-memory servers.
+// queries) as a warm-start hint. Free on in-memory servers. Followers
+// never touch: a touch record consumes a local sequence number, and a
+// follower clock running ahead of the leader's would make every
+// subsequent replicated graph look stale (ApplyReplicated refuses
+// records at or below the clock). Follower warmth comes from serving
+// reads, not from recorded hints.
 func (s *Server) touch(e *entry, sk *store.SketchParams) {
-	if s.store != nil {
+	if s.store != nil && s.repl == nil {
 		s.store.Touch(e.digest, sk)
 	}
 }
@@ -196,13 +218,19 @@ func (s *Server) noteWarmHit(e *entry) {
 // in-memory servers); cmd/qcongestd logs it at startup.
 func (s *Server) Recovery() store.RecoveryStats { return s.recovery }
 
-// Close stops the warm-start pass, then snapshots and closes the
-// durable store (a no-op for in-memory servers). cmd/qcongestd calls
-// it after the HTTP listener drains, so the close-time snapshot is the
-// SIGTERM path's final fold of the log. Waiting for the warm goroutine
-// matters beyond tidiness: Close releases the data-dir lock, and a
-// successor process must not overlap with this one still building.
+// Close stops the follower loop and the warm-start pass, then
+// snapshots and closes the durable store (a no-op for in-memory
+// servers). cmd/qcongestd calls it after the HTTP listener drains, so
+// the close-time snapshot is the SIGTERM path's final fold of the log.
+// Waiting for the background goroutines matters beyond tidiness: Close
+// releases the data-dir lock, and a successor process must not overlap
+// with this one still building or applying.
 func (s *Server) Close() error {
+	if s.repl != nil {
+		// Stop tailing before the store closes under the apply path.
+		s.repl.cancel()
+		s.repl.wg.Wait()
+	}
 	if s.store == nil {
 		return nil
 	}

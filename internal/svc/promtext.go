@@ -180,6 +180,31 @@ func (s *Server) writePromText(w http.ResponseWriter) {
 		p.sample("qcongest_store_warm_start_hits_total", "", float64(st.WarmStartHits))
 	}
 
+	if rp := snap.Replication; rp != nil {
+		p.family("qcongest_replication_follower", "gauge", "1 when this node is a read-only follower, 0 for a leader.")
+		follower := 0.0
+		if rp.Role == "follower" {
+			follower = 1
+		}
+		p.sample("qcongest_replication_follower", "", follower)
+		p.family("qcongest_replication_seq", "gauge", "This node's replication position (leader head, or follower catch-up cursor).")
+		p.sample("qcongest_replication_seq", "", float64(rp.Seq))
+		if rp.Role == "follower" {
+			p.family("qcongest_replication_leader_seq", "gauge", "The leader's last reported head sequence.")
+			p.sample("qcongest_replication_leader_seq", "", float64(rp.LeaderSeq))
+			p.family("qcongest_replication_lag_seq", "gauge", "Sequence steps this follower trails its leader by.")
+			p.sample("qcongest_replication_lag_seq", "", float64(rp.SeqDelta))
+			p.family("qcongest_replication_applied_total", "counter", "Graphs applied from the replication stream since boot.")
+			p.sample("qcongest_replication_applied_total", "", float64(rp.AppliedGraphs))
+			p.family("qcongest_replication_skipped_total", "counter", "Stream records skipped as duplicates or non-graph kinds.")
+			p.sample("qcongest_replication_skipped_total", "", float64(rp.SkippedRecords))
+			p.family("qcongest_replication_rejected_total", "counter", "Stream records refused by CRC, digest, or sequence verification.")
+			p.sample("qcongest_replication_rejected_total", "", float64(rp.RejectedRecords))
+			p.family("qcongest_replication_stream_errors_total", "counter", "Failed catch-up rounds (transport, non-200, torn stream).")
+			p.sample("qcongest_replication_stream_errors_total", "", float64(rp.StreamErrors))
+		}
+	}
+
 	w.Header().Set("Content-Type", promContentType)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(p.Bytes())

@@ -1,0 +1,120 @@
+package svc
+
+// The leader side of replication: GET /v1/replicate?from=<seq> streams
+// every committed graph with sequence above the cursor, framed exactly
+// like the store's WAL records (internal/store/replicate.go). An
+// optional wait=<ms> long-polls: a caught-up follower parks here until
+// the head advances or the wait expires, so steady-state replication
+// costs one open request per follower instead of a poll storm, and a
+// commit reaches replicas with sub-poll-interval latency.
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+const (
+	// replHeadHeader carries the leader's head sequence at capture
+	// time, so a follower learns its lag even from an empty response.
+	replHeadHeader = "X-Qcongest-Repl-Head"
+	// ctReplication is the stream's media type.
+	ctReplication = "application/x-qcongest-replication"
+	// maxReplWaitMs caps a long-poll park (client values above clamp).
+	maxReplWaitMs = 30_000
+)
+
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusNotImplemented,
+			"replication requires a durable store; start the daemon with -data-dir")
+		return
+	}
+	q := r.URL.Query()
+	var from uint64
+	if raw := q.Get("from"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad from=%q: %v", raw, err)
+			return
+		}
+		from = v
+	}
+	var waitMs int
+	if raw := q.Get("wait"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad wait=%q (want milliseconds >= 0)", raw)
+			return
+		}
+		waitMs = min(v, maxReplWaitMs)
+	}
+
+	head := s.store.ReplicationHead()
+	if head <= from && waitMs > 0 {
+		timer := time.NewTimer(time.Duration(waitMs) * time.Millisecond)
+		defer timer.Stop()
+	park:
+		for head <= from {
+			// Grab the notify channel first, then re-read the head: an
+			// append between the two is caught by the re-read, an append
+			// after it closes the channel we already hold. The other
+			// order can sleep through a wakeup.
+			ch := s.store.SeqNotify()
+			if head = s.store.ReplicationHead(); head > from {
+				break
+			}
+			select {
+			case <-ch:
+				head = s.store.ReplicationHead()
+			case <-r.Context().Done():
+				break park
+			case <-timer.C:
+				break park
+			}
+		}
+	}
+
+	w.Header().Set(replHeadHeader, strconv.FormatUint(head, 10))
+	w.Header().Set("Content-Type", ctReplication)
+	w.WriteHeader(http.StatusOK)
+	// Stream errors past this point are connection casualties; the
+	// record framing's CRCs let the follower treat a mid-record cut as
+	// a torn tail and re-poll from its cursor.
+	_, _, _ = s.store.ReplicationStream(from, w)
+}
+
+// replicationStatus assembles the shared /healthz + /metrics
+// replication block: the follower's live cursor/lag ledger, or a plain
+// role-and-head stanza for durable leaders. nil for in-memory
+// standalone servers, which have no replication identity at all.
+func (s *Server) replicationStatus() *ReplicationHealth {
+	if rp := s.repl; rp != nil {
+		cursor, head := rp.cursor.Load(), rp.head.Load()
+		st := &ReplicationHealth{
+			Role:            "follower",
+			Leader:          rp.leader,
+			Seq:             cursor,
+			LeaderSeq:       head,
+			MaxLagSeq:       rp.maxLag,
+			AppliedGraphs:   rp.applied.Load(),
+			SkippedRecords:  rp.skipped.Load(),
+			RejectedRecords: rp.rejected.Load(),
+			StreamErrors:    rp.streamErrs.Load(),
+		}
+		if head > cursor {
+			st.SeqDelta = head - cursor
+		}
+		if at := rp.lastApply.Load(); at > 0 {
+			st.MsSinceApply = float64(time.Since(time.Unix(0, at)).Microseconds()) / 1000
+		}
+		if at := rp.lastContact.Load(); at > 0 {
+			st.MsSinceContact = float64(time.Since(time.Unix(0, at)).Microseconds()) / 1000
+		}
+		return st
+	}
+	if s.store != nil {
+		return &ReplicationHealth{Role: "leader", Seq: s.store.ReplicationHead()}
+	}
+	return nil
+}

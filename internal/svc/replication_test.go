@@ -1,0 +1,277 @@
+// Replication end-to-end suite: a real leader daemon and real follower
+// daemons wired over HTTP — catch-up from scratch, live tailing through
+// the long-poll, byte-identical answers on every replica, the follower
+// write fence, durable follower restarts, and the lag readiness gate
+// (driven by a fake leader that reports a head it never ships).
+package svc_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"qcongest/internal/svc"
+)
+
+// waitUntil polls cond until it holds or the deadline expires.
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// getHealth fetches /healthz raw: unlike Client.Health it decodes the
+// body even on 503, which is exactly the lagging/draining surface this
+// suite asserts on.
+func getHealth(t *testing.T, baseURL string) (int, svc.HealthResponse) {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var h svc.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	return resp.StatusCode, h
+}
+
+// TestFollowerReplicationE2E is the tentpole walk: graphs committed to
+// a leader appear on a durable follower (catch-up and live tail), every
+// answer is byte-identical across nodes, writes bounce off the follower
+// with 403, and a follower restart resumes from its durable cursor.
+func TestFollowerReplicationE2E(t *testing.T) {
+	leaderDir := t.TempDir()
+	leader, lc := openPersistent(t, svc.Config{DataDir: leaderDir})
+	defer leader.Close()
+
+	// Two graphs before the follower exists: the catch-up path.
+	up1, err := lc.Upload(workload(t, 64))
+	if err != nil || !up1.Created {
+		t.Fatalf("upload 1: (%+v, %v)", up1, err)
+	}
+	gen, err := lc.Generate(svc.GenSpec{Kind: "barbell", K: 6, BridgeLen: 4, MaxW: 9, Seed: 3})
+	if err != nil || !gen.Created {
+		t.Fatalf("generate: (%+v, %v)", gen, err)
+	}
+
+	followerDir := t.TempDir()
+	follower, fc := openPersistent(t, svc.Config{
+		DataDir:    followerDir,
+		FollowURL:  lc.BaseURL,
+		FollowPoll: 20 * time.Millisecond,
+	})
+	waitUntil(t, 10*time.Second, "follower catch-up", func() bool {
+		gs, err := fc.Graphs()
+		return err == nil && len(gs) == 2
+	})
+
+	// A graph uploaded after the follower is tailing: the long-poll path.
+	up2, err := lc.Upload(workload(t, 33))
+	if err != nil || !up2.Created {
+		t.Fatalf("upload 2: (%+v, %v)", up2, err)
+	}
+	waitUntil(t, 10*time.Second, "live tail", func() bool {
+		gs, err := fc.Graphs()
+		return err == nil && len(gs) == 3
+	})
+
+	// Byte-identical answers from both nodes, for every graph.
+	sketchReq := svc.SketchRequest{Sources: []int{5, 1, 9}, L: 12, K: 2}
+	for _, digest := range []string{up1.Digest, gen.Digest, up2.Digest} {
+		ld, err := lc.Diameter(digest)
+		if err != nil {
+			t.Fatalf("leader diameter %s: %v", digest, err)
+		}
+		fd, err := fc.Diameter(digest)
+		if err != nil || fd != ld {
+			t.Fatalf("follower diameter %s: (%d, %v), leader %d", digest, fd, err, ld)
+		}
+		ls, err := lc.Sketch(digest, sketchReq)
+		if err != nil {
+			t.Fatalf("leader sketch %s: %v", digest, err)
+		}
+		fs, err := fc.Sketch(digest, sketchReq)
+		if err != nil || !reflect.DeepEqual(ls, fs) {
+			t.Fatalf("follower sketch %s diverged: (%+v, %v), leader %+v", digest, fs, err, ls)
+		}
+	}
+
+	// The write fence: followers refuse uploads with 403, naming the leader.
+	_, err = fc.Upload(workload(t, 17))
+	var se *svc.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusForbidden || !strings.Contains(se.Message, lc.BaseURL) {
+		t.Fatalf("follower upload: %v, want 403 naming the leader", err)
+	}
+
+	// Role and lag surfaces on both /healthz and both /metrics views.
+	code, lh := getHealth(t, lc.BaseURL)
+	if code != http.StatusOK || lh.Replication == nil || lh.Replication.Role != "leader" || lh.Replication.Seq == 0 {
+		t.Fatalf("leader healthz: %d %+v", code, lh.Replication)
+	}
+	code, fh := getHealth(t, fc.BaseURL)
+	if code != http.StatusOK || fh.Replication == nil || fh.Replication.Role != "follower" ||
+		fh.Replication.Leader != lc.BaseURL || fh.Replication.AppliedGraphs != 3 {
+		t.Fatalf("follower healthz: %d %+v", code, fh.Replication)
+	}
+	if fh.Replication.Seq != lh.Replication.Seq {
+		t.Fatalf("follower cursor %d != leader head %d after convergence", fh.Replication.Seq, lh.Replication.Seq)
+	}
+	fm, err := fc.Metrics()
+	if err != nil || fm.Replication == nil || fm.Replication.Role != "follower" {
+		t.Fatalf("follower metrics replication: (%+v, %v)", fm.Replication, err)
+	}
+	promResp, err := http.Get(fc.BaseURL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom := readAll(t, promResp)
+	if !strings.Contains(prom, "qcongest_replication_follower 1") ||
+		!strings.Contains(prom, "qcongest_replication_lag_seq 0") {
+		t.Fatalf("prom view missing replication families:\n%s", prom)
+	}
+
+	// Durable restart: the follower resumes from its cursor and serves
+	// everything without re-tailing from zero.
+	wantSeq := fh.Replication.Seq
+	if err := follower.Close(); err != nil {
+		t.Fatalf("follower close: %v", err)
+	}
+	re, rc := openPersistent(t, svc.Config{
+		DataDir:    followerDir,
+		FollowURL:  lc.BaseURL,
+		FollowPoll: 20 * time.Millisecond,
+	})
+	defer re.Close()
+	gs, err := rc.Graphs()
+	if err != nil || len(gs) != 3 {
+		t.Fatalf("restarted follower lists (%d, %v), want 3 recovered graphs", len(gs), err)
+	}
+	_, rh := getHealth(t, rc.BaseURL)
+	if rh.Replication == nil || rh.Replication.Seq != wantSeq {
+		t.Fatalf("restarted follower cursor %+v, want seq %d", rh.Replication, wantSeq)
+	}
+	if d, err := rc.Diameter(up2.Digest); err != nil {
+		t.Fatalf("restarted follower diameter: (%d, %v)", d, err)
+	}
+
+	// An in-memory follower (no data dir) converges too.
+	mem, memc := openPersistent(t, svc.Config{
+		FollowURL:  lc.BaseURL,
+		FollowPoll: 20 * time.Millisecond,
+	})
+	defer mem.Close()
+	waitUntil(t, 10*time.Second, "in-memory follower catch-up", func() bool {
+		gs, err := memc.Graphs()
+		return err == nil && len(gs) == 3
+	})
+	if d, err := memc.Diameter(gen.Digest); err != nil {
+		t.Fatalf("in-memory follower diameter: (%d, %v)", d, err)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading response body: %v", err)
+	}
+	return string(body)
+}
+
+// TestReplicateEndpointValidation pins the endpoint's error surface:
+// 501 without a durable store, 400 on malformed cursors, 405 on
+// non-GET, and an empty-but-headered 200 for a caught-up cursor.
+func TestReplicateEndpointValidation(t *testing.T) {
+	mem := svc.New(svc.Config{})
+	memTS := httptest.NewServer(mem)
+	defer memTS.Close()
+	if resp, err := http.Get(memTS.URL + "/v1/replicate"); err != nil || resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("in-memory replicate: %v %v, want 501", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	leader, lc := openPersistent(t, svc.Config{DataDir: t.TempDir()})
+	defer leader.Close()
+	if _, err := lc.Upload(workload(t, 12)); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"?from=zebra", "?wait=-5", "?wait=soon"} {
+		resp, err := http.Get(lc.BaseURL + "/v1/replicate" + q)
+		if err != nil || resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("replicate%s: %d %v, want 400", q, resp.StatusCode, err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Post(lc.BaseURL+"/v1/replicate", "", nil)
+	if err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST replicate: %d %v, want 405", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	// Caught-up cursor, no wait: immediate empty 200 carrying the head.
+	_, lh := getHealth(t, lc.BaseURL)
+	head := lh.Replication.Seq
+	resp, err = http.Get(fmt.Sprintf("%s/v1/replicate?from=%d", lc.BaseURL, head))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("caught-up replicate: %d %v", resp.StatusCode, err)
+	}
+	if got := resp.Header.Get("X-Qcongest-Repl-Head"); got != fmt.Sprint(head) {
+		t.Fatalf("head header %q, want %d", got, head)
+	}
+	if body := readAll(t, resp); body != "" {
+		t.Fatalf("caught-up stream carried %d bytes", len(body))
+	}
+}
+
+// TestFollowerLagReadiness drives the satellite-4 fix: a follower whose
+// leader reports a head far beyond what it ships must fail readiness
+// with status "lagging" and HTTP 503, and report the seq delta and
+// time-since-apply in the replication block.
+func TestFollowerLagReadiness(t *testing.T) {
+	// A fake leader that claims head 5000 but never ships a record: the
+	// one reliable way to hold a live follower in a lagging state.
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/replicate" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("X-Qcongest-Repl-Head", "5000")
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer fake.Close()
+
+	follower, fc := openPersistent(t, svc.Config{
+		FollowURL:  fake.URL,
+		MaxLagSeq:  100,
+		FollowPoll: 10 * time.Millisecond,
+	})
+	defer follower.Close()
+
+	waitUntil(t, 10*time.Second, "lagging readiness", func() bool {
+		code, h := getHealth(t, fc.BaseURL)
+		return code == http.StatusServiceUnavailable && h.Status == "lagging" &&
+			h.Replication != nil && h.Replication.SeqDelta == 5000
+	})
+	// The JSON metrics view carries the same lag.
+	m, err := fc.Metrics()
+	if err != nil || m.Replication == nil || m.Replication.SeqDelta != 5000 {
+		t.Fatalf("metrics lag: (%+v, %v)", m.Replication, err)
+	}
+}

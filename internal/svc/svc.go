@@ -130,6 +130,23 @@ type Config struct {
 	// request (request ID, method, path, status, class, API key,
 	// latency, bytes). nil disables request logging.
 	AccessLog io.Writer
+	// FollowURL, when non-empty, runs this daemon as a read-only
+	// follower replica of the leader at that base URL: a background
+	// loop tails the leader's committed graphs over /v1/replicate,
+	// digest-verifying every record before it is applied (and fsyncing
+	// it locally when DataDir is set). Followers reject uploads with
+	// 403 and report replication lag through /healthz and /metrics.
+	// Only Open honors this field.
+	FollowURL string
+	// MaxLagSeq is the follower readiness threshold: /healthz answers
+	// 503 ("lagging") while the follower is more than this many
+	// sequence steps behind the leader's last reported head (default
+	// 1024; ignored without FollowURL).
+	MaxLagSeq uint64
+	// FollowPoll is the follower's idle/backoff re-poll interval
+	// (default 250ms; the catch-up loop long-polls the leader, so this
+	// only paces reconnects and error backoff).
+	FollowPoll time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -166,6 +183,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.MaxLagSeq == 0 {
+		c.MaxLagSeq = 1024
+	}
+	if c.FollowPoll <= 0 {
+		c.FollowPoll = 250 * time.Millisecond
+	}
 	return c
 }
 
@@ -190,6 +213,9 @@ type Server struct {
 	reqSeq  atomic.Uint64
 	logger  *slog.Logger
 	limiter *limiter
+
+	// Replication state (nil = not a follower). See follow.go.
+	repl *replState
 
 	// Durability state (nil store = in-memory server). See persist.go.
 	store      *store.Store
@@ -284,6 +310,14 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.instrument(classBatch, s.handleBatch)(w, r)
+	case path == "/v1/replicate":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		// Metered but never rate-limited: follower catch-up traffic
+		// carries no API key, and a throttled replica is a stale replica.
+		s.instrumentOpts(classReplicate, false, s.handleReplicate)(w, r)
 	default:
 		writeError(w, http.StatusNotFound, "no such route (see API.md)")
 	}

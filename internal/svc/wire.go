@@ -355,10 +355,51 @@ type StoreHealth struct {
 	WarmupDone int64 `json:"warmupDone"`
 }
 
+// ReplicationHealth is the replication section of /healthz and
+// /metrics: present on every durable daemon (role "leader") and on
+// every follower (role "follower", whatever its storage mode).
+type ReplicationHealth struct {
+	// Role is "leader" (accepts writes, serves /v1/replicate) or
+	// "follower" (read-only, tails a leader).
+	Role string `json:"role"`
+	// Leader is the followed base URL (followers only).
+	Leader string `json:"leader,omitempty"`
+	// Seq is this node's replication position: the highest committed
+	// graph sequence on a leader, the catch-up cursor on a follower.
+	Seq uint64 `json:"seq"`
+	// LeaderSeq is the leader's last reported head (followers only).
+	LeaderSeq uint64 `json:"leaderSeq,omitempty"`
+	// SeqDelta is max(LeaderSeq-Seq, 0) — the replication lag in
+	// sequence steps. Readiness fails ("lagging", HTTP 503) while it
+	// exceeds MaxLagSeq.
+	SeqDelta uint64 `json:"seqDelta"`
+	// MaxLagSeq is the configured readiness threshold (followers only).
+	MaxLagSeq uint64 `json:"maxLagSeq,omitempty"`
+	// MsSinceApply is the time since the follower last applied a
+	// record, in milliseconds (0 until the first apply).
+	MsSinceApply float64 `json:"msSinceApply,omitempty"`
+	// MsSinceContact is the time since the leader last answered a
+	// catch-up poll, in milliseconds (0 until the first response).
+	MsSinceContact float64 `json:"msSinceContact,omitempty"`
+	// AppliedGraphs counts graphs applied from the stream since boot.
+	AppliedGraphs int64 `json:"appliedGraphs,omitempty"`
+	// SkippedRecords counts stream records skipped as already applied
+	// (duplicates below the cursor) or as non-graph kinds.
+	SkippedRecords int64 `json:"skippedRecords,omitempty"`
+	// RejectedRecords counts records refused by verification (CRC,
+	// digest, or sequence-clock failures). Nonzero means the leader
+	// stream carried something a healthy leader cannot produce.
+	RejectedRecords int64 `json:"rejectedRecords,omitempty"`
+	// StreamErrors counts failed catch-up rounds (transport errors,
+	// non-200 leader answers, torn transfers).
+	StreamErrors int64 `json:"streamErrors,omitempty"`
+}
+
 // HealthResponse answers GET /healthz.
 type HealthResponse struct {
 	// Status is "ok" while serving, "draining" during graceful
-	// shutdown (the latter with HTTP 503).
+	// shutdown, "lagging" while a follower trails its leader beyond
+	// MaxLagSeq (the latter two with HTTP 503).
 	Status string `json:"status"`
 	// Graphs is the registry size.
 	Graphs int `json:"graphs"`
@@ -366,6 +407,9 @@ type HealthResponse struct {
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	// Store reports recovery/warm-up progress (persistent daemons only).
 	Store *StoreHealth `json:"store,omitempty"`
+	// Replication reports the node's cluster role and catch-up
+	// position (durable leaders and all followers).
+	Replication *ReplicationHealth `json:"replication,omitempty"`
 }
 
 // CacheMetrics is the sketch-cache section of /metrics, mirroring
@@ -470,4 +514,7 @@ type MetricsSnapshot struct {
 	RateLimits map[string]KeyMetrics `json:"rateLimits,omitempty"`
 	// Store is the durability section (persistent daemons only).
 	Store *StoreMetrics `json:"store,omitempty"`
+	// Replication is the cluster-role section (durable leaders and all
+	// followers), identical to the /healthz block.
+	Replication *ReplicationHealth `json:"replication,omitempty"`
 }

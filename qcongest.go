@@ -21,6 +21,7 @@ import (
 	"math/rand"
 
 	"qcongest/internal/baseline"
+	"qcongest/internal/cluster"
 	"qcongest/internal/congest"
 	"qcongest/internal/core"
 	"qcongest/internal/dist"
@@ -179,6 +180,36 @@ var (
 	ParseEdgeList    = graph.ParseEdgeList
 	FormatBinary     = graph.FormatBinary
 	ParseBinary      = graph.ParseBinary
+)
+
+// Cluster tier (internal/cluster): the qrouter proxy that consistent-
+// hashes graph digests across qcongestd shards, sheds writes for a
+// downed leader with 503 + Retry-After, and fails reads over to any
+// in-sync WAL-shipped replica (DESIGN.md §11, API.md "Cluster
+// routing"). Replication itself lives in the daemons — set
+// ServiceConfig.FollowURL to run a Service as a read-only follower.
+type (
+	// ClusterRouter is the routing proxy's state and http.Handler; the
+	// caller owns Close.
+	ClusterRouter = cluster.Router
+	// ClusterRouterConfig tunes the probe cadence, body caps, and parse
+	// limits of a router.
+	ClusterRouterConfig = cluster.Config
+	// ClusterTopology is the static shard layout: shards of replica
+	// URLs, leader first.
+	ClusterTopology = cluster.Topology
+	// ClusterInfo is the live topology descriptor GET /v1/cluster
+	// answers (per-node role and probe state).
+	ClusterInfo = cluster.ClusterInfo
+)
+
+// Cluster-tier constructors: ParseClusterTopology reads the -peers
+// spelling ("leader;replica,leader;replica" — shards comma-separated,
+// replicas semicolon-separated), NewClusterRouter builds the proxy and
+// starts its health prober.
+var (
+	ParseClusterTopology = cluster.ParseTopology
+	NewClusterRouter     = cluster.NewRouter
 )
 
 // SimOptions configure a CONGEST simulation run.
