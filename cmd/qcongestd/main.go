@@ -105,6 +105,7 @@ func main() {
 		follow       = flag.String("follow", "", "leader base URL to follow as a read-only replica, e.g. http://127.0.0.1:8080 (empty = standalone/leader)")
 		maxLag       = flag.Uint64("maxlag", 0, "replication lag in sequence numbers beyond which /healthz fails readiness (0 = 1024; follower only)")
 		replPoll     = flag.Duration("replpoll", 0, "idle pause between replication poll rounds (0 = 250ms; follower only)")
+		clusterToken = flag.String("cluster-token", "", "shared secret required as X-Cluster-Token on /v1/promote and /v1/demote (empty = open)")
 	)
 	flag.Parse()
 
@@ -139,6 +140,7 @@ func main() {
 		FollowURL:       *follow,
 		MaxLagSeq:       *maxLag,
 		FollowPoll:      *replPoll,
+		ClusterToken:    *clusterToken,
 	})
 	if err != nil {
 		log.Fatalf("qcongestd: opening store: %v", err)

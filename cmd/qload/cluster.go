@@ -34,6 +34,13 @@ type clusterReport struct {
 	// Shards and Nodes describe the topology the router disclosed.
 	Shards int `json:"shards"`
 	Nodes  int `json:"nodes"`
+	// Epoch is the router's topology epoch — 0 on a cluster that never
+	// promoted, the leadership generation after self-healing.
+	Epoch uint64 `json:"epoch"`
+	// ChainShardsVerified counts shards whose live replicas converged
+	// to one identical (seq, chain) position — the digest-chain receipt
+	// that no acknowledged write was lost or reordered anywhere.
+	ChainShardsVerified int `json:"chainShardsVerified"`
 	// Graphs is the distinct workload graphs uploaded through the router.
 	Graphs int `json:"graphs"`
 	// ParityChecks counts digest×replica comparisons that were verified
@@ -132,7 +139,7 @@ func runCluster(cfg clusterConfig) {
 	if err != nil {
 		log.Fatalf("qload: decoding /v1/cluster: %v", err)
 	}
-	crep := clusterReport{Shards: len(info.Shards), Graphs: len(works)}
+	crep := clusterReport{Shards: len(info.Shards), Graphs: len(works), Epoch: info.Epoch}
 	for _, s := range info.Shards {
 		crep.Nodes += len(s.Nodes)
 	}
@@ -232,6 +239,61 @@ func runCluster(cfg clusterConfig) {
 	}
 	fmt.Printf("qload cluster: parity verified — %d graphs × every replica of %d shards (%d checks, all byte-identical)\n",
 		crep.Graphs, crep.Shards, crep.ParityChecks)
+
+	// --- Chain parity: every live replica of a shard must converge to
+	// one identical (seq, chain) position. The chain is a running fold
+	// over every committed (seq, digest) pair, so equality here is a
+	// receipt that no acknowledged write was lost or reordered — even
+	// across a leader kill, auto-promotion, and old-leader re-sync. ---
+
+	nodeHealth := func(url string) (svc.HealthResponse, error) {
+		var h svc.HealthResponse
+		resp, err := http.Get(url + "/healthz")
+		if err != nil {
+			return h, err
+		}
+		defer resp.Body.Close()
+		return h, json.NewDecoder(resp.Body).Decode(&h)
+	}
+	chainDeadline := time.Now().Add(30 * time.Second)
+	for _, s := range info.Shards {
+		for {
+			positions := map[string]string{}
+			uniq := map[string]bool{}
+			durable := true
+			for _, nd := range s.Nodes {
+				if !nodeAlive(nd.URL) {
+					continue // killed mid-smoke: the survivors carry the audit
+				}
+				h, err := nodeHealth(nd.URL)
+				if err != nil {
+					durable = false // mid-restart; next round retries
+					break
+				}
+				if h.Replication == nil {
+					durable = false // in-memory node: no chain to audit
+					break
+				}
+				positions[nd.URL] = fmt.Sprintf("seq=%d chain=%s", h.Replication.Seq, h.Replication.Chain)
+				uniq[positions[nd.URL]] = true
+			}
+			if durable && len(uniq) == 1 {
+				crep.ChainShardsVerified++
+				break
+			}
+			if !durable && time.Now().After(chainDeadline) {
+				break // in-memory shard (or one that never settled): not audited
+			}
+			if time.Now().After(chainDeadline) {
+				log.Fatalf("qload: FAILED — shard %s replicas never converged to one (seq, chain) position: %v", s.Name, positions)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if crep.ChainShardsVerified > 0 {
+		fmt.Printf("qload cluster: chain parity verified — %d shards at one (seq, chain) position each (topology epoch %d)\n",
+			crep.ChainShardsVerified, crep.Epoch)
+	}
 
 	// --- Timed read phase through the router: any 5xx fails the run. ---
 

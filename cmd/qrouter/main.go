@@ -12,9 +12,16 @@
 //	qrouter -addr 127.0.0.1:8090 \
 //	  -peers 'http://127.0.0.1:8080;http://127.0.0.1:8081,http://127.0.0.1:8082;http://127.0.0.1:8083'
 //
-// -peers is the static topology: shards separated by commas, each
+// -peers is the boot topology: shards separated by commas, each
 // shard's replicas separated by semicolons, first replica = leader
-// (the one whose -data-dir the others -follow).
+// (the one whose -data-dir the others -follow). It becomes the live
+// epoch-0 topology; from there the router self-heals — a leader down
+// for -promote-after consecutive probe sweeps gets replaced by its
+// most-advanced in-sync follower via POST /v1/promote, and a revived
+// old leader is demoted back into a follower. -peers-file names a file
+// holding the same topology string; SIGHUP re-reads it and swaps the
+// layout live (shards keep their promoted leaders when those are still
+// listed).
 //
 // The router serves its own /healthz (ok / degraded / draining),
 // /v1/cluster (the live topology descriptor cluster-aware clients
@@ -31,37 +38,74 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"qcongest/internal/cluster"
 )
 
+// loadPeersFile reads a topology string from a file, tolerating
+// trailing newlines and full-line # comments.
+func loadPeersFile(path string) (string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var parts []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts = append(parts, line)
+	}
+	return strings.Join(parts, ","), nil
+}
+
 func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8090", "listen address")
-		peers        = flag.String("peers", "", "shard topology: comma-separated shards of semicolon-separated replica URLs, leader first (required)")
+		peers        = flag.String("peers", "", "shard topology: comma-separated shards of semicolon-separated replica URLs, leader first")
+		peersFile    = flag.String("peers-file", "", "file holding the -peers topology string (one or more lines, # comments); SIGHUP reloads it")
 		probeEvery   = flag.Duration("probeevery", 500*time.Millisecond, "health-probe cadence per daemon")
+		promoteAfter = flag.Int("promote-after", 0, "consecutive failed probe sweeps before a shard leader is replaced by auto-promotion (0 = default 3, negative disables)")
+		clusterToken = flag.String("cluster-token", "", "X-Cluster-Token sent on /v1/promote and /v1/demote; must match the daemons' -cluster-token")
 		maxBody      = flag.Int64("maxbody", 0, "request body cap in bytes (0 = 64 MiB)")
 		maxNodes     = flag.Int("maxnodes", 0, "max nodes per upload parsed for routing (0 = 1<<17; match the daemons)")
 		maxEdges     = flag.Int("maxedges", 0, "max edges per upload parsed for routing (0 = 1<<21; match the daemons)")
+		fwdTimeout   = flag.Duration("forward-timeout", 0, "per-request backend timeout on the forwarding client (0 = 60s)")
 		drainTimeout = flag.Duration("draintimeout", 15*time.Second, "graceful shutdown deadline")
 	)
 	flag.Parse()
 
-	if *peers == "" {
-		log.Fatal("qrouter: -peers is required (see -help)")
+	spec := *peers
+	if *peersFile != "" {
+		if spec != "" {
+			log.Fatal("qrouter: set -peers or -peers-file, not both")
+		}
+		loaded, err := loadPeersFile(*peersFile)
+		if err != nil {
+			log.Fatalf("qrouter: reading -peers-file: %v", err)
+		}
+		spec = loaded
 	}
-	topo, err := cluster.ParseTopology(*peers)
+	if spec == "" {
+		log.Fatal("qrouter: -peers or -peers-file is required (see -help)")
+	}
+	topo, err := cluster.ParseTopology(spec)
 	if err != nil {
 		log.Fatalf("qrouter: %v", err)
 	}
 	rt, err := cluster.NewRouter(cluster.Config{
-		Topology:     topo,
-		ProbeEvery:   *probeEvery,
-		MaxBodyBytes: *maxBody,
-		MaxNodes:     *maxNodes,
-		MaxEdges:     *maxEdges,
+		Topology:       topo,
+		ProbeEvery:     *probeEvery,
+		PromoteAfter:   *promoteAfter,
+		ClusterToken:   *clusterToken,
+		MaxBodyBytes:   *maxBody,
+		MaxNodes:       *maxNodes,
+		MaxEdges:       *maxEdges,
+		ForwardTimeout: *fwdTimeout,
 	})
 	if err != nil {
 		log.Fatalf("qrouter: %v", err)
@@ -75,6 +119,35 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP: re-read -peers-file and swap the topology live. Without a
+	// peers file there is nothing to re-read, but the signal is still
+	// drained so an operator's blanket `kill -HUP` does not kill us.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if *peersFile == "" {
+				log.Printf("qrouter: SIGHUP ignored (no -peers-file to reload)")
+				continue
+			}
+			spec, err := loadPeersFile(*peersFile)
+			if err != nil {
+				log.Printf("qrouter: SIGHUP reload failed: %v", err)
+				continue
+			}
+			t, err := cluster.ParseTopology(spec)
+			if err != nil {
+				log.Printf("qrouter: SIGHUP reload failed: %v", err)
+				continue
+			}
+			if err := rt.Reload(t); err != nil {
+				log.Printf("qrouter: SIGHUP reload failed: %v", err)
+				continue
+			}
+			log.Printf("qrouter: topology reloaded from %s (%d shards)", *peersFile, len(t.Shards))
+		}
+	}()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpServer.ListenAndServe() }()
@@ -105,5 +178,7 @@ func main() {
 		log.Fatalf("qrouter: serve: %v", err)
 	}
 	rt.Close()
+	signal.Stop(hup)
+	close(hup)
 	fmt.Println("qrouter: shut down cleanly")
 }

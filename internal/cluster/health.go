@@ -11,20 +11,35 @@ package cluster
 // Readiness drives steady-state routing; the forwarding path does its
 // own per-request failover on top, so a node that dies between probes
 // costs one extra hop, not an error.
+//
+// The probe also reads the healthz body: the daemons' replication
+// stanza (role, epoch, seq, chain — internal/svc ReplicationHealth) is
+// the election evidence the promotion supervisor (promote.go) works
+// from, and parsing it costs nothing extra because draining the body
+// is what keeps the probe connection reusable in the first place.
 
 import (
 	"context"
+	"encoding/json"
+	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"qcongest/internal/svc"
 )
 
-// peer is one daemon's live state inside the router.
+// maxHealthzBytes bounds one probe body read; a healthz document is a
+// few hundred bytes, so anything near the cap is garbage anyway.
+const maxHealthzBytes = 1 << 20
+
+// peer is one daemon's live state inside the router. Peers are keyed
+// by URL and survive topology rewrites (promotion, SIGHUP reload), so
+// their counters are continuous across role changes.
 type peer struct {
-	url    string
-	shard  int
-	leader bool
+	url string
 
 	ready      atomic.Bool
 	alive      atomic.Bool
@@ -32,14 +47,27 @@ type peer struct {
 	errors     atomic.Int64
 	probes     atomic.Int64
 	probeFails atomic.Int64
+
+	// downStreak counts consecutive sweeps the peer was unreachable;
+	// the promotion supervisor fires when a leader's streak reaches
+	// PromoteAfter. Reset on any HTTP answer.
+	downStreak atomic.Int32
+
+	// Replication evidence from the last parsed healthz body (zero
+	// until a probe has read one): the node's self-reported role,
+	// leadership epoch, replication position, and digest chain.
+	repRole  atomic.Int32 // roleNone / roleLeader / roleFollower
+	repEpoch atomic.Uint64
+	repSeq   atomic.Uint64
+	repChain atomic.Uint64
 }
 
-func (p *peer) role() string {
-	if p.leader {
-		return "leader"
-	}
-	return "replica"
-}
+// Self-reported roles, from the healthz replication stanza.
+const (
+	roleNone int32 = iota // no stanza: in-memory standalone daemon
+	roleLeader
+	roleFollower
+)
 
 // probeOnce probes one daemon and settles its classification.
 func (rt *Router) probeOnce(ctx context.Context, p *peer) {
@@ -51,6 +79,7 @@ func (rt *Router) probeOnce(ctx context.Context, p *peer) {
 		p.ready.Store(false)
 		p.alive.Store(false)
 		p.probeFails.Add(1)
+		p.downStreak.Add(1)
 		return
 	}
 	resp, err := rt.client.Do(req)
@@ -58,21 +87,52 @@ func (rt *Router) probeOnce(ctx context.Context, p *peer) {
 		p.ready.Store(false)
 		p.alive.Store(false)
 		p.probeFails.Add(1)
+		p.downStreak.Add(1)
 		return
 	}
+	// Read the body to its end before closing: an undrained close kills
+	// the keep-alive connection and every probe re-handshakes (the
+	// connection-reuse test pins this). The bytes read are the election
+	// evidence, so the drain is not even overhead.
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, maxHealthzBytes))
+	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	p.alive.Store(true)
+	p.downStreak.Store(0)
 	ok := resp.StatusCode == http.StatusOK
 	p.ready.Store(ok)
 	if !ok {
 		p.probeFails.Add(1)
 	}
+	// A draining or lagging daemon still reports its stanza (503 bodies
+	// are the same JSON document), so parse regardless of status.
+	var h svc.HealthResponse
+	if json.Unmarshal(body, &h) != nil || h.Replication == nil {
+		p.repRole.Store(roleNone)
+		return
+	}
+	rep := h.Replication
+	switch rep.Role {
+	case "leader":
+		p.repRole.Store(roleLeader)
+	case "follower":
+		p.repRole.Store(roleFollower)
+	default:
+		p.repRole.Store(roleNone)
+	}
+	p.repEpoch.Store(rep.Epoch)
+	p.repSeq.Store(rep.Seq)
+	if c, err := strconv.ParseUint(rep.Chain, 16, 64); err == nil {
+		p.repChain.Store(c)
+	}
 }
 
-// probeAll sweeps every peer concurrently and waits for the sweep.
+// probeAll sweeps every peer of the current topology concurrently and
+// waits for the sweep.
 func (rt *Router) probeAll(ctx context.Context) {
+	st := rt.state.Load()
 	var wg sync.WaitGroup
-	for _, p := range rt.peers {
+	for _, p := range st.peers {
 		wg.Add(1)
 		go func(p *peer) {
 			defer wg.Done()
@@ -82,11 +142,13 @@ func (rt *Router) probeAll(ctx context.Context) {
 	wg.Wait()
 }
 
-// probeLoop runs the sweep on the configured cadence until Close.
+// probeLoop runs the sweep (followed by the promotion supervisor) on
+// the configured cadence until Close. NewRouter runs the seed sweep
+// synchronously before this loop starts, so the first tick here is
+// already the second observation.
 func (rt *Router) probeLoop() {
 	defer rt.wg.Done()
 	ctx := context.Background()
-	rt.probeAll(ctx) // seed state before the first tick
 	ticker := time.NewTicker(rt.cfg.ProbeEvery)
 	defer ticker.Stop()
 	for {
@@ -95,6 +157,7 @@ func (rt *Router) probeLoop() {
 			return
 		case <-ticker.C:
 			rt.probeAll(ctx)
+			rt.supervise(ctx)
 		}
 	}
 }

@@ -39,30 +39,47 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) snapshot() RouterMetrics {
-	m := RouterMetrics{UptimeSeconds: time.Since(rt.start).Seconds()}
-	for si, s := range rt.cfg.Topology.Shards {
-		st := rt.shardStats[si]
+	st := rt.state.Load()
+	m := RouterMetrics{
+		UptimeSeconds:   time.Since(rt.start).Seconds(),
+		Epoch:           st.epoch,
+		Promotions:      rt.promotions.Load(),
+		Demotions:       rt.demotions.Load(),
+		Adoptions:       rt.adoptions.Load(),
+		PromoteFails:    rt.promoteFails.Load(),
+		LastPromotionMs: rt.lastPromotionMs.Load(),
+	}
+	for si, s := range st.topo.Shards {
+		stats := st.stats[si]
 		m.Shards = append(m.Shards, ShardMetrics{
 			Name:          s.Name,
-			Writes:        st.writes.Load(),
-			WriteSheds:    st.writeSheds.Load(),
-			Reads:         st.reads.Load(),
-			ReadFailovers: st.readFailovers.Load(),
-			ReadFailures:  st.readFailures.Load(),
+			Writes:        stats.writes.Load(),
+			WriteSheds:    stats.writeSheds.Load(),
+			Reads:         stats.reads.Load(),
+			ReadFailovers: stats.readFailovers.Load(),
+			ReadFailures:  stats.readFailures.Load(),
 		})
 	}
-	for _, p := range rt.peers {
-		m.Peers = append(m.Peers, PeerMetrics{
-			URL:        p.url,
-			Shard:      rt.cfg.Topology.Shards[p.shard].Name,
-			Role:       p.role(),
-			Forwards:   p.forwards.Load(),
-			Errors:     p.errors.Load(),
-			Probes:     p.probes.Load(),
-			ProbeFails: p.probeFails.Load(),
-			Ready:      p.ready.Load(),
-			Alive:      p.alive.Load(),
-		})
+	for si, s := range st.topo.Shards {
+		for ni, p := range st.shards[si] {
+			role := "follower"
+			if ni == 0 {
+				role = "leader"
+			}
+			m.Peers = append(m.Peers, PeerMetrics{
+				URL:        p.url,
+				Shard:      s.Name,
+				Role:       role,
+				Forwards:   p.forwards.Load(),
+				Errors:     p.errors.Load(),
+				Probes:     p.probes.Load(),
+				ProbeFails: p.probeFails.Load(),
+				Ready:      p.ready.Load(),
+				Alive:      p.alive.Load(),
+				Epoch:      p.repEpoch.Load(),
+				Seq:        p.repSeq.Load(),
+			})
+		}
 	}
 	return m
 }
@@ -100,6 +117,19 @@ func (rt *Router) writePromText(w http.ResponseWriter) {
 
 	p.family("qrouter_uptime_seconds", "gauge", "Seconds since the router started.")
 	p.sample("qrouter_uptime_seconds", "", snap.UptimeSeconds)
+
+	p.family("qrouter_topology_epoch", "gauge", "Leadership generation of the live topology.")
+	p.sample("qrouter_topology_epoch", "", float64(snap.Epoch))
+	p.family("qrouter_promotions_total", "counter", "Followers auto-promoted to shard leader.")
+	p.sample("qrouter_promotions_total", "", float64(snap.Promotions))
+	p.family("qrouter_demotions_total", "counter", "Stale leaders demoted back to followers.")
+	p.sample("qrouter_demotions_total", "", float64(snap.Demotions))
+	p.family("qrouter_adoptions_total", "counter", "Higher-epoch leaders adopted into the topology.")
+	p.sample("qrouter_adoptions_total", "", float64(snap.Adoptions))
+	p.family("qrouter_promote_fails_total", "counter", "Promotion attempts that did not end in a 200.")
+	p.sample("qrouter_promote_fails_total", "", float64(snap.PromoteFails))
+	p.family("qrouter_last_promotion_ms", "gauge", "Wall-clock cost of the most recent promotion, election to ack.")
+	p.sample("qrouter_last_promotion_ms", "", float64(snap.LastPromotionMs))
 
 	p.family("qrouter_shard_writes_total", "counter", "Uploads routed to the shard leader.")
 	for _, s := range snap.Shards {

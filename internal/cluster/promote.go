@@ -1,0 +1,174 @@
+package cluster
+
+// The self-healing supervisor. After every probe sweep the router
+// reconciles what the probes observed against the topology it believes
+// in, in three moves:
+//
+//   - adoption: a node claiming leadership at an epoch ABOVE the
+//     router's is believed outright — it won an election this router
+//     did not see (typically: the router restarted from a stale boot
+//     topology). The topology rewrites around it, no RPC needed.
+//   - promotion: a shard leader unreachable for PromoteAfter
+//     consecutive sweeps is declared dead; the alive follower with the
+//     highest replicated position whose seq is at least the leader's
+//     last observed head is promoted via POST /v1/promote at epoch+1,
+//     and the topology rewrites so writes resume without a restart.
+//   - demotion: a node claiming leadership at an epoch at or BELOW the
+//     router's, from a follower slot, is a revived old leader (or a
+//     misconfigured standalone): POST /v1/demote points it at the
+//     designated leader and it re-syncs through the ordinary follow
+//     path. Skipped while the designated leader is not ready — a
+//     stale leader that still answers beats no leader at all.
+//
+// All three run under topoMu, so supervisor rewrites and SIGHUP
+// reloads serialize; handlers keep reading the old state atomically
+// until the swap lands. Election is evidence-based and conservative: a
+// follower that might miss acknowledged writes (seq below the dead
+// leader's last observed head) is never promoted, because serving
+// writes from it would silently fork history. Better a shard that sheds
+// writes loudly than one that lies.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"qcongest/internal/svc"
+)
+
+// supervise reconciles one sweep's observations into topology actions.
+// Called from probeLoop after each probeAll; PromoteAfter < 0 disables
+// the whole supervisor (probe classification still runs).
+func (rt *Router) supervise(ctx context.Context) {
+	if rt.cfg.PromoteAfter < 0 {
+		return
+	}
+	rt.topoMu.Lock()
+	defer rt.topoMu.Unlock()
+
+	st := rt.state.Load()
+	topo := cloneTopology(st.topo)
+	epoch := st.epoch
+	changed := false
+
+	for si := range st.shards {
+		// Adoption first: a higher-epoch leader claim anywhere in the
+		// shard overrides whatever this router thinks it knows.
+		if p := higherEpochLeader(st, si, epoch); p != nil {
+			reorderLeader(&topo.Shards[si], p.url)
+			epoch = p.repEpoch.Load()
+			rt.adoptions.Add(1)
+			changed = true
+			continue
+		}
+
+		leader := st.shards[si][0]
+		if leader.downStreak.Load() >= int32(rt.cfg.PromoteAfter) {
+			if winner := electFollower(st, si); winner != nil {
+				started := time.Now()
+				if rt.postControl(ctx, winner.url, "/v1/promote", svc.PromoteRequest{Epoch: epoch + 1}) {
+					epoch++
+					reorderLeader(&topo.Shards[si], winner.url)
+					rt.promotions.Add(1)
+					rt.lastPromotionMs.Store(time.Since(started).Milliseconds())
+					changed = true
+					continue
+				}
+				rt.promoteFails.Add(1)
+			}
+		}
+
+		// Demotion: stale leader claims from follower slots, only while
+		// the designated leader is actually serving.
+		if !leader.ready.Load() {
+			continue
+		}
+		for _, p := range st.shards[si][1:] {
+			if p.alive.Load() && p.repRole.Load() == roleLeader && p.repEpoch.Load() <= epoch {
+				if rt.postControl(ctx, p.url, "/v1/demote", svc.DemoteRequest{Epoch: epoch, Leader: leader.url}) {
+					rt.demotions.Add(1)
+				}
+			}
+		}
+	}
+
+	if changed {
+		rt.state.Store(buildState(topo, epoch, st))
+	}
+}
+
+// higherEpochLeader returns the shard peer claiming leadership above
+// the router's epoch, preferring the highest such epoch; nil when none.
+func higherEpochLeader(st *topoState, shard int, epoch uint64) *peer {
+	var best *peer
+	for _, p := range st.shards[shard] {
+		if p.alive.Load() && p.repRole.Load() == roleLeader && p.repEpoch.Load() > epoch {
+			if best == nil || p.repEpoch.Load() > best.repEpoch.Load() {
+				best = p
+			}
+		}
+	}
+	return best
+}
+
+// electFollower picks the shard's promotion candidate: the alive
+// follower with the highest replicated position, and only if that
+// position is at least the dead leader's last observed head —
+// promoting a lagging follower would acknowledge-then-lose the records
+// it never pulled. Ties break toward topology order, which makes the
+// election deterministic across sweeps. nil when no follower qualifies
+// (the shard keeps shedding writes loudly instead).
+func electFollower(st *topoState, shard int) *peer {
+	leaderHead := st.leaderOf(shard).repSeq.Load()
+	var best *peer
+	for _, p := range st.shards[shard][1:] {
+		if !p.alive.Load() || p.repRole.Load() != roleFollower {
+			continue
+		}
+		if seq := p.repSeq.Load(); seq >= leaderHead && (best == nil || seq > best.repSeq.Load()) {
+			best = p
+		}
+	}
+	return best
+}
+
+// postControl sends one authenticated control-plane request (promote or
+// demote) and reports whether the node acknowledged with a 200. The
+// call is bounded by the probe timeout, not the forwarding timeout —
+// supervise holds topoMu and must never park for a slow minute.
+func (rt *Router) postControl(ctx context.Context, base, path string, body any) bool {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(ctx, rt.probeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(payload))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if rt.cfg.ClusterToken != "" {
+		req.Header.Set("X-Cluster-Token", rt.cfg.ClusterToken)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// cloneTopology deep-copies a topology so supervisor rewrites never
+// mutate the shard slices a published topoState still references.
+func cloneTopology(t Topology) Topology {
+	out := Topology{Shards: make([]Shard, len(t.Shards))}
+	for i, s := range t.Shards {
+		out.Shards[i] = Shard{Name: s.Name, Nodes: append([]string(nil), s.Nodes...)}
+	}
+	return out
+}

@@ -33,16 +33,32 @@ import (
 
 // Config parameterizes a Router.
 type Config struct {
-	// Topology is the static shard layout (required, non-empty).
+	// Topology is the boot shard layout (required, non-empty). It
+	// becomes the epoch-0 live topology; promotion and Reload evolve it
+	// from there.
 	Topology Topology
 	// ProbeEvery is the health-probe cadence (default 500ms).
 	ProbeEvery time.Duration
+	// PromoteAfter is how many consecutive probe sweeps a shard leader
+	// must be unreachable before the router elects and promotes an
+	// in-sync follower (default 3; negative disables auto-promotion).
+	// The promotion budget is therefore about PromoteAfter×ProbeEvery
+	// plus one promote round-trip.
+	PromoteAfter int
+	// ClusterToken is sent as X-Cluster-Token on /v1/promote and
+	// /v1/demote calls; it must match the daemons' -cluster-token.
+	// Empty sends no header (open dev clusters).
+	ClusterToken string
 	// MaxBodyBytes caps request bodies (default 64 MiB, matching the
 	// daemons).
 	MaxBodyBytes int64
 	// MaxNodes / MaxEdges bound upload parsing at the router (defaults
 	// match the daemons').
 	MaxNodes, MaxEdges int
+	// ForwardTimeout bounds one proxied backend exchange on the default
+	// client (default 60s) — a hung daemon must cost a bounded wait,
+	// never pin the request forever. Ignored when Client is set.
+	ForwardTimeout time.Duration
 	// Client overrides the forwarding HTTP client (tests).
 	Client *http.Client
 }
@@ -50,6 +66,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.ProbeEvery <= 0 {
 		c.ProbeEvery = 500 * time.Millisecond
+	}
+	if c.PromoteAfter == 0 {
+		c.PromoteAfter = 3
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
@@ -59,6 +78,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxEdges <= 0 {
 		c.MaxEdges = 1 << 21
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 60 * time.Second
 	}
 	return c
 }
@@ -73,22 +95,84 @@ type shardStats struct {
 	rr            atomic.Uint64 // read rotation cursor
 }
 
-// Router is the cluster proxy; it implements http.Handler.
-type Router struct {
-	cfg        Config
-	ring       *ring
-	peers      []*peer   // flat, topology order
-	shards     [][]*peer // by shard index, leader first
-	shardStats []*shardStats
-	client     *http.Client
-	start      time.Time
-	healthy    atomic.Bool
-	stop       chan struct{}
-	wg         sync.WaitGroup
+// topoState is one immutable live-topology generation: the shard
+// layout (leader-first node order), its ring, its peers, and the
+// per-shard ledgers. Promotion, demotion adoption, and Reload build a
+// successor state and swap the router's pointer; request handlers load
+// the pointer once and work against a consistent view. Peer and stats
+// objects are reused across generations (keyed by URL and shard name),
+// so counters and probe evidence survive every rewrite.
+type topoState struct {
+	topo   Topology
+	epoch  uint64
+	ring   *ring
+	peers  []*peer   // flat, topology order
+	shards [][]*peer // by shard index, leader first
+	stats  []*shardStats
 }
 
-// NewRouter builds a Router over the topology and starts its health
-// prober. The caller owns Close.
+// leaderOf returns the shard's designated leader (Nodes[0]).
+func (st *topoState) leaderOf(shard int) *peer { return st.shards[shard][0] }
+
+// buildState assembles a topoState from a layout, reusing prev's peer
+// and stats objects where URL / shard name match.
+func buildState(t Topology, epoch uint64, prev *topoState) *topoState {
+	oldPeers := make(map[string]*peer)
+	oldStats := make(map[string]*shardStats)
+	if prev != nil {
+		for _, p := range prev.peers {
+			oldPeers[p.url] = p
+		}
+		for si, s := range prev.topo.Shards {
+			oldStats[s.Name] = prev.stats[si]
+		}
+	}
+	st := &topoState{topo: t, epoch: epoch, ring: buildRing(t)}
+	for _, s := range t.Shards {
+		var group []*peer
+		for _, u := range s.Nodes {
+			p := oldPeers[u]
+			if p == nil {
+				p = &peer{url: u}
+			}
+			st.peers = append(st.peers, p)
+			group = append(group, p)
+		}
+		st.shards = append(st.shards, group)
+		stats := oldStats[s.Name]
+		if stats == nil {
+			stats = &shardStats{}
+		}
+		st.stats = append(st.stats, stats)
+	}
+	return st
+}
+
+// Router is the cluster proxy; it implements http.Handler.
+type Router struct {
+	cfg     Config
+	state   atomic.Pointer[topoState]
+	topoMu  sync.Mutex // serializes state rewrites (supervisor, Reload)
+	client  *http.Client
+	start   time.Time
+	healthy atomic.Bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	// Self-healing ledger (promote.go).
+	promotions      atomic.Int64
+	demotions       atomic.Int64
+	adoptions       atomic.Int64
+	promoteFails    atomic.Int64
+	lastPromotionMs atomic.Int64 // wall time from election to 200, last promotion
+}
+
+// NewRouter builds a Router over the topology, runs the seed probe
+// sweep to completion, and starts the health prober. Returning only
+// after the seed sweep settles closes the boot readiness race: the
+// first request the caller routes already sees real probe verdicts,
+// not all-false zero values that would shed writes against a perfectly
+// healthy cluster. The caller owns Close.
 func NewRouter(cfg Config) (*Router, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Topology.Shards) == 0 {
@@ -96,28 +180,70 @@ func NewRouter(cfg Config) (*Router, error) {
 	}
 	rt := &Router{
 		cfg:    cfg,
-		ring:   buildRing(cfg.Topology),
 		client: cfg.Client,
 		start:  time.Now(),
 		stop:   make(chan struct{}),
 	}
 	if rt.client == nil {
-		rt.client = &http.Client{}
-	}
-	for si, s := range cfg.Topology.Shards {
-		var group []*peer
-		for ni, u := range s.Nodes {
-			p := &peer{url: u, shard: si, leader: ni == 0}
-			rt.peers = append(rt.peers, p)
-			group = append(group, p)
+		// The default forwarding client must bound every exchange: one
+		// hung backend would otherwise pin the proxied request (and the
+		// daemon-side gate slot it holds) forever. The transport caps
+		// idle pool size so steady probe + forward traffic reuses
+		// connections instead of re-handshaking.
+		rt.client = &http.Client{
+			Timeout: cfg.ForwardTimeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 8,
+				IdleConnTimeout:     90 * time.Second,
+			},
 		}
-		rt.shards = append(rt.shards, group)
-		rt.shardStats = append(rt.shardStats, &shardStats{})
 	}
+	rt.state.Store(buildState(cfg.Topology, 0, nil))
 	rt.healthy.Store(true)
+	rt.probeAll(context.Background()) // seed verdicts before serving
 	rt.wg.Add(1)
 	go rt.probeLoop()
 	return rt, nil
+}
+
+// Reload swaps in a new shard layout (cmd/qrouter calls this on
+// SIGHUP). Placement only moves for shards whose name changes — the
+// ring hashes names, not node URLs. A shard whose live (possibly
+// promoted) leader still appears in the new node list keeps that
+// leader, so an operator adding or removing followers cannot
+// accidentally un-promote a shard; name a different first node AND
+// drop the live leader to force a leadership change.
+func (rt *Router) Reload(t Topology) error {
+	if len(t.Shards) == 0 {
+		return fmt.Errorf("cluster: empty topology")
+	}
+	rt.topoMu.Lock()
+	defer rt.topoMu.Unlock()
+	prev := rt.state.Load()
+	liveLeaders := make(map[string]string, len(prev.topo.Shards))
+	for si, s := range prev.topo.Shards {
+		liveLeaders[s.Name] = prev.leaderOf(si).url
+	}
+	for i := range t.Shards {
+		s := &t.Shards[i]
+		if lead, ok := liveLeaders[s.Name]; ok {
+			reorderLeader(s, lead)
+		}
+	}
+	rt.state.Store(buildState(t, prev.epoch, prev))
+	return nil
+}
+
+// reorderLeader moves url to Nodes[0] when present; no-op otherwise.
+func reorderLeader(s *Shard, url string) {
+	for i, n := range s.Nodes {
+		if n == url && i != 0 {
+			nodes := append([]string{url}, append(append([]string(nil), s.Nodes[:i]...), s.Nodes[i+1:]...)...)
+			s.Nodes = nodes
+			return
+		}
+	}
 }
 
 // SetHealthy flips the router's own /healthz between serving and
@@ -252,9 +378,9 @@ func (rt *Router) writeProxied(w http.ResponseWriter, resp *proxied) {
 // then not-ready-but-configured nodes as a last resort (a lagging
 // replica beats a 503 when it is all that's left — determinism makes
 // its answers correct for every graph it holds).
-func (rt *Router) readCandidates(shard int) []*peer {
-	peers := rt.shards[shard]
-	start := int(rt.shardStats[shard].rr.Add(1) % uint64(len(peers)))
+func readCandidates(st *topoState, shard int) []*peer {
+	peers := st.shards[shard]
+	start := int(st.stats[shard].rr.Add(1) % uint64(len(peers)))
 	ready := make([]*peer, 0, len(peers))
 	var fallback []*peer
 	for i := range peers {
@@ -274,14 +400,14 @@ func (rt *Router) readCandidates(shard int) []*peer {
 // holds — only a whole-shard 404 is a real miss). Returns the first
 // conclusive answer, the last inconclusive one, or an error when no
 // node was reachable at all.
-func (rt *Router) tryShard(ctx context.Context, shard int, method, uri string, hdr http.Header, body []byte) (*proxied, error) {
-	st := rt.shardStats[shard]
-	st.reads.Add(1)
+func (rt *Router) tryShard(ctx context.Context, st *topoState, shard int, method, uri string, hdr http.Header, body []byte) (*proxied, error) {
+	stats := st.stats[shard]
+	stats.reads.Add(1)
 	var last *proxied
 	first := true
-	for _, p := range rt.readCandidates(shard) {
+	for _, p := range readCandidates(st, shard) {
 		if !first {
-			st.readFailovers.Add(1)
+			stats.readFailovers.Add(1)
 		}
 		first = false
 		resp, err := rt.forward(ctx, p, method, uri, hdr, body)
@@ -296,12 +422,12 @@ func (rt *Router) tryShard(ctx context.Context, shard int, method, uri string, h
 	}
 	if last != nil {
 		if last.status >= 500 {
-			st.readFailures.Add(1)
+			stats.readFailures.Add(1)
 		}
 		return last, nil
 	}
-	st.readFailures.Add(1)
-	return nil, fmt.Errorf("no node of shard %s is reachable", rt.cfg.Topology.Shards[shard].Name)
+	stats.readFailures.Add(1)
+	return nil, fmt.Errorf("no node of shard %s is reachable", st.topo.Shards[shard].Name)
 }
 
 // handleUpload routes a write: learn the digest, find the shard,
@@ -316,15 +442,16 @@ func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "%v", err)
 		return
 	}
-	shard := rt.ring.shardFor(digest)
-	st := rt.shardStats[shard]
-	leader := rt.shards[shard][0]
+	st := rt.state.Load()
+	shard := st.ring.shardFor(digest)
+	stats := st.stats[shard]
+	leader := st.leaderOf(shard)
 	shed := func(reason string) {
-		st.writeSheds.Add(1)
+		stats.writeSheds.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable,
 			"shard %s leader %s is down (%s); write shed, not accepted — retry",
-			rt.cfg.Topology.Shards[shard].Name, leader.url, reason)
+			st.topo.Shards[shard].Name, leader.url, reason)
 	}
 	// Sheds are deliberate: a write acknowledged by anything except the
 	// leader's own fsync path would not be a durability receipt.
@@ -332,10 +459,10 @@ func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request) {
 		shed("probe reports unreachable")
 		return
 	}
-	st.writes.Add(1)
+	stats.writes.Add(1)
 	resp, err := rt.forward(r.Context(), leader, http.MethodPost, "/v1/graphs"+querySuffix(r), r.Header, body)
 	if err != nil {
-		st.writes.Add(-1)
+		stats.writes.Add(-1)
 		shed(err.Error())
 		return
 	}
@@ -414,7 +541,8 @@ func (rt *Router) handleGraphRead(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	resp, err := rt.tryShard(r.Context(), rt.ring.shardFor(digest), r.Method, r.URL.RequestURI(), r.Header, body)
+	st := rt.state.Load()
+	resp, err := rt.tryShard(r.Context(), st, st.ring.shardFor(digest), r.Method, r.URL.RequestURI(), r.Header, body)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -427,8 +555,9 @@ func (rt *Router) handleGraphRead(w http.ResponseWriter, r *http.Request) {
 // listing would read as deleted graphs.
 func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 	var merged []svc.GraphInfo
-	for shard := range rt.shards {
-		resp, err := rt.tryShard(r.Context(), shard, http.MethodGet, "/v1/graphs", r.Header, nil)
+	st := rt.state.Load()
+	for shard := range st.shards {
+		resp, err := rt.tryShard(r.Context(), st, shard, http.MethodGet, "/v1/graphs", r.Header, nil)
 		if err != nil {
 			writeError(w, http.StatusServiceUnavailable, "listing: %v", err)
 			return
@@ -439,7 +568,7 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 		var page svc.GraphListResponse
 		if err := json.Unmarshal(resp.body, &page); err != nil {
-			writeError(w, http.StatusBadGateway, "shard %s sent an undecodable listing: %v", rt.cfg.Topology.Shards[shard].Name, err)
+			writeError(w, http.StatusBadGateway, "shard %s sent an undecodable listing: %v", st.topo.Shards[shard].Name, err)
 			return
 		}
 		merged = append(merged, page.Graphs...)
@@ -472,6 +601,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		digests []string
 		idx     []int
 	}
+	st := rt.state.Load()
 	groups := make(map[int]*slot)
 	for i, ds := range req.Digests {
 		d, err := svc.ParseDigest(ds)
@@ -479,7 +609,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "digest %d: %v", i, err)
 			return
 		}
-		shard := rt.ring.shardFor(d)
+		shard := st.ring.shardFor(d)
 		g := groups[shard]
 		if g == nil {
 			g = &slot{}
@@ -497,7 +627,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		hdr := r.Header.Clone()
 		hdr.Set("Content-Type", "application/json")
-		resp, err := rt.tryShard(r.Context(), shard, http.MethodPost, "/v1/batch", hdr, sub)
+		resp, err := rt.tryShard(r.Context(), st, shard, http.MethodPost, "/v1/batch", hdr, sub)
 		if err != nil {
 			writeError(w, http.StatusServiceUnavailable, "batch: %v", err)
 			return
@@ -509,7 +639,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		var page svc.BatchResponse
 		if err := json.Unmarshal(resp.body, &page); err != nil || len(page.Results) != len(g.digests) {
 			writeError(w, http.StatusBadGateway, "shard %s sent %d batch results for %d digests (%v)",
-				rt.cfg.Topology.Shards[shard].Name, len(page.Results), len(g.digests), err)
+				st.topo.Shards[shard].Name, len(page.Results), len(g.digests), err)
 			return
 		}
 		for j, res := range page.Results {
@@ -519,22 +649,33 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, svc.BatchResponse{Results: results})
 }
 
-// handleCluster serves the topology descriptor cluster-aware clients
-// use to find every replica (qload's parity checks read it).
+// handleCluster serves the live topology descriptor cluster-aware
+// clients use to find every replica (qload's parity checks read it).
+// Leader-first node order reflects promotions, Epoch identifies the
+// leadership generation, and the per-node Epoch/Seq/Chain are the
+// router's last probe observations — evidence, not gospel.
 func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	info := ClusterInfo{}
-	for si, s := range rt.cfg.Topology.Shards {
+	st := rt.state.Load()
+	info := ClusterInfo{Epoch: st.epoch}
+	for si, s := range st.topo.Shards {
 		si2 := ShardInfo{Name: s.Name, Leader: s.Leader()}
-		for _, p := range rt.shards[si] {
+		for ni, p := range st.shards[si] {
+			role := "follower"
+			if ni == 0 {
+				role = "leader"
+			}
 			si2.Nodes = append(si2.Nodes, NodeInfo{
 				URL:   p.url,
-				Role:  p.role(),
+				Role:  role,
 				Ready: p.ready.Load(),
 				Alive: p.alive.Load(),
+				Epoch: p.repEpoch.Load(),
+				Seq:   p.repSeq.Load(),
+				Chain: fmt.Sprintf("%016x", p.repChain.Load()),
 			})
 		}
 		info.Shards = append(info.Shards, si2)
@@ -547,13 +688,15 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	st := rt.state.Load()
 	h := RouterHealth{
 		Status:        "ok",
-		Shards:        len(rt.shards),
+		Shards:        len(st.shards),
+		Epoch:         st.epoch,
 		UptimeSeconds: time.Since(rt.start).Seconds(),
 	}
-	for shard := range rt.shards {
-		for _, p := range rt.shards[shard] {
+	for shard := range st.shards {
+		for _, p := range st.shards[shard] {
 			if p.ready.Load() {
 				h.ShardsReady++
 				break

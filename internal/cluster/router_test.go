@@ -138,16 +138,17 @@ func TestRouterClusterE2E(t *testing.T) {
 		t.Skip("cluster e2e is not a -short test")
 	}
 	poll := 20 * time.Millisecond
+	token := "e2e-cluster-secret"
 
 	// Shard 0 and shard 1, each a durable leader plus a durable
 	// WAL-shipping follower.
 	leaders := []*node{
-		startNode(t, svc.Config{DataDir: t.TempDir()}),
-		startNode(t, svc.Config{DataDir: t.TempDir()}),
+		startNode(t, svc.Config{DataDir: t.TempDir(), ClusterToken: token}),
+		startNode(t, svc.Config{DataDir: t.TempDir(), ClusterToken: token}),
 	}
 	followers := []*node{
-		startNode(t, svc.Config{DataDir: t.TempDir(), FollowURL: leaders[0].url, FollowPoll: poll}),
-		startNode(t, svc.Config{DataDir: t.TempDir(), FollowURL: leaders[1].url, FollowPoll: poll}),
+		startNode(t, svc.Config{DataDir: t.TempDir(), ClusterToken: token, FollowURL: leaders[0].url, FollowPoll: poll}),
+		startNode(t, svc.Config{DataDir: t.TempDir(), ClusterToken: token, FollowURL: leaders[1].url, FollowPoll: poll}),
 	}
 
 	spec := fmt.Sprintf("%s;%s,%s;%s", leaders[0].url, followers[0].url, leaders[1].url, followers[1].url)
@@ -158,7 +159,16 @@ func TestRouterClusterE2E(t *testing.T) {
 	// 200ms probes: fast enough that readiness waits stay sub-second,
 	// slow enough that the follower-kill phase below gets a real window
 	// where the dead node is still marked ready and reads must fail over.
-	rt, err := cluster.NewRouter(cluster.Config{Topology: topo, ProbeEvery: 200 * time.Millisecond})
+	// PromoteAfter 5 gives the leader-death phase a full second to pin
+	// the 503-shed behavior before auto-promotion kicks in.
+	probeEvery := 200 * time.Millisecond
+	promoteAfter := 5
+	rt, err := cluster.NewRouter(cluster.Config{
+		Topology:     topo,
+		ProbeEvery:   probeEvery,
+		PromoteAfter: promoteAfter,
+		ClusterToken: token,
+	})
 	if err != nil {
 		t.Fatalf("NewRouter: %v", err)
 	}
@@ -348,7 +358,7 @@ func TestRouterClusterE2E(t *testing.T) {
 			return false
 		}
 		for _, s := range info.Shards {
-			if len(s.Nodes) != 2 || s.Nodes[0].Role != "leader" || s.Nodes[1].Role != "replica" {
+			if len(s.Nodes) != 2 || s.Nodes[0].Role != "leader" || s.Nodes[1].Role != "follower" {
 				t.Fatalf("malformed shard descriptor: %+v", s)
 			}
 			for _, nd := range s.Nodes {
@@ -500,6 +510,131 @@ func TestRouterClusterE2E(t *testing.T) {
 	} {
 		if !strings.Contains(prom.String(), family) {
 			t.Fatalf("prometheus view lacks %q:\n%s", family, prom.String())
+		}
+	}
+
+	// --- Auto-promotion: after PromoteAfter failed sweeps the router
+	// elects the in-sync follower, promotes it at epoch 1, and rewrites
+	// the topology so shard-0 writes resume without any restart. ---
+
+	// Budget: the supervisor needs PromoteAfter consecutive failed
+	// sweeps plus one promote round-trip; triple it for slow machines.
+	promoteBudget := 3 * time.Duration(promoteAfter+2) * probeEvery
+	waitUntil(t, promoteBudget, "auto-promotion of shard 0's follower", func() bool {
+		var info cluster.ClusterInfo
+		getJSON(t, rts.URL+"/v1/cluster", &info)
+		return info.Epoch == 1 && info.Shards[0].Nodes[0].URL == revived.url
+	})
+	// The promoted daemon itself must agree: leader role, fenced epoch.
+	var nh svc.HealthResponse
+	getJSON(t, revived.url+"/healthz", &nh)
+	if nh.Replication == nil || nh.Replication.Role != "leader" || nh.Replication.Epoch != 1 {
+		t.Fatalf("promoted follower reports %+v, want leader at epoch 1", nh.Replication)
+	}
+
+	// Writes resume: a re-upload of a shard-0 graph answers 200 through
+	// the router, and fresh uploads land on the new leader.
+	if resp, err := rc.Upload(graphs[shard0[0]]); err != nil || resp.Created {
+		t.Fatalf("shard-0 re-upload after promotion: resp=%+v err=%v", resp, err)
+	}
+	var newDigest string
+	for n := 100; ; n++ {
+		if n > 200 {
+			t.Fatal("ring never placed a post-promotion graph on shard 0")
+		}
+		g := graph.Cycle(n)
+		resp, err := rc.Upload(g)
+		if err != nil {
+			t.Fatalf("write after auto-promotion: %v", err)
+		}
+		graphs[resp.Digest] = g
+		if resp.Created && digestSet(t, revived.client())[resp.Digest] {
+			newDigest = resp.Digest
+			break
+		}
+	}
+	// Epoch fencing is visible in the sequence space: records minted by
+	// the epoch-1 leader start at EpochBase(1) = 1<<32.
+	getJSON(t, revived.url+"/healthz", &nh)
+	if nh.Replication.Seq < 1<<32 {
+		t.Fatalf("post-promotion head %d is below the epoch-1 fence", nh.Replication.Seq)
+	}
+	getJSON(t, rts.URL+"/metrics", &rm)
+	if rm.Promotions != 1 || rm.Epoch != 1 {
+		t.Fatalf("promotion ledger: %d promotions at epoch %d, want 1 at 1", rm.Promotions, rm.Epoch)
+	}
+
+	// --- Revive the old leader: it boots still believing it leads at
+	// epoch 0, the router demotes it, and it re-syncs to exact seq and
+	// chain parity with the new leader — zero acknowledged writes lost. ---
+
+	oldLeader := leaders[0].revive()
+	waitUntil(t, 10*time.Second, "revived old leader demotion", func() bool {
+		var h svc.HealthResponse
+		getJSON(t, oldLeader.url+"/healthz", &h)
+		return h.Replication != nil && h.Replication.Role == "follower" && h.Replication.Epoch == 1
+	})
+	newShard0 := digestSet(t, revived.client())
+	waitUntil(t, 10*time.Second, "demoted leader catch-up", func() bool {
+		return sameDigests(digestSet(t, oldLeader.client()), newShard0)
+	})
+	var newLH, oldLH svc.HealthResponse
+	getJSON(t, revived.url+"/healthz", &newLH)
+	waitUntil(t, 5*time.Second, "demoted leader seq+chain parity", func() bool {
+		getJSON(t, oldLeader.url+"/healthz", &oldLH)
+		return oldLH.Replication != nil &&
+			oldLH.Replication.Seq == newLH.Replication.Seq &&
+			oldLH.Replication.Chain == newLH.Replication.Chain
+	})
+	if oldLH.Replication.Chain == "" || oldLH.Replication.Chain == "0000000000000000" {
+		t.Fatalf("parity chain is trivial: %q", oldLH.Replication.Chain)
+	}
+
+	// Zero acknowledged-write loss, cluster-wide: every digest the
+	// router ever acknowledged is present on its owning shard, and every
+	// shard-0 record now lives on both replicas.
+	finalSets := []map[string]bool{newShard0, digestSet(t, leaders[1].client())}
+	for d := range graphs {
+		if !finalSets[0][d] && !finalSets[1][d] {
+			t.Fatalf("acknowledged digest %s was lost by the self-healing ladder", d)
+		}
+	}
+	if !sameDigests(digestSet(t, oldLeader.client()), newShard0) {
+		t.Fatal("demoted leader's digest set diverged from the new leader's")
+	}
+
+	// Reads of the post-promotion graph answer through the router from
+	// either replica.
+	if _, err := rc.Diameter(newDigest); err != nil {
+		t.Fatalf("reading the post-promotion graph via the router: %v", err)
+	}
+
+	// The demotion shows up in the ledger and the live descriptor keeps
+	// the promoted leader first.
+	getJSON(t, rts.URL+"/metrics", &rm)
+	if rm.Demotions == 0 {
+		t.Fatal("old-leader revival produced no demotion in the ledger")
+	}
+	var info cluster.ClusterInfo
+	getJSON(t, rts.URL+"/v1/cluster", &info)
+	if info.Epoch != 1 || info.Shards[0].Nodes[0].URL != revived.url || info.Shards[0].Nodes[0].Role != "leader" {
+		t.Fatalf("live descriptor after the ladder: %+v", info.Shards[0])
+	}
+	resp, err = http.Get(rts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom.Reset()
+	_, _ = prom.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, family := range []string{
+		"qrouter_topology_epoch 1",
+		"qrouter_promotions_total 1",
+		"qrouter_demotions_total 1",
+		"qrouter_last_promotion_ms",
+	} {
+		if !strings.Contains(prom.String(), family) {
+			t.Fatalf("prometheus view lacks %q after the ladder:\n%s", family, prom.String())
 		}
 	}
 }

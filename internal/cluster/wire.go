@@ -8,13 +8,21 @@ package cluster
 type NodeInfo struct {
 	// URL is the daemon's base URL.
 	URL string `json:"url"`
-	// Role is "leader" or "replica".
+	// Role is the node's position in the live topology: "leader" or
+	// "follower". Promotion rewrites it without a restart.
 	Role string `json:"role"`
 	// Ready reports the last probe answered 200 (serving and in sync).
 	Ready bool `json:"ready"`
 	// Alive reports the last probe got any HTTP answer at all (a
 	// draining or lagging node is alive but not ready).
 	Alive bool `json:"alive"`
+	// Epoch / Seq / Chain are the node's self-reported leadership
+	// epoch, replication position, and digest chain as of the last
+	// parsed probe body — the election evidence the promotion
+	// supervisor works from. Zero until a probe has read a body.
+	Epoch uint64 `json:"epoch"`
+	Seq   uint64 `json:"seq"`
+	Chain string `json:"chain,omitempty"`
 }
 
 // ShardInfo is one shard's entry in the /v1/cluster descriptor.
@@ -29,7 +37,10 @@ type ShardInfo struct {
 
 // ClusterInfo answers GET /v1/cluster.
 type ClusterInfo struct {
-	// Shards lists the full static topology with live probe state.
+	// Epoch is the router's topology epoch: the leadership generation
+	// of the most recent promotion or adoption (0 until the first).
+	Epoch uint64 `json:"epoch"`
+	// Shards lists the live topology with probe state, leader first.
 	Shards []ShardInfo `json:"shards"`
 }
 
@@ -43,6 +54,8 @@ type RouterHealth struct {
 	Shards int `json:"shards"`
 	// ShardsReady counts shards with at least one ready node.
 	ShardsReady int `json:"shardsReady"`
+	// Epoch is the router's topology epoch (see ClusterInfo).
+	Epoch uint64 `json:"epoch"`
 	// UptimeSeconds is the time since the router started.
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 }
@@ -70,7 +83,8 @@ type PeerMetrics struct {
 	URL string `json:"url"`
 	// Shard is the owning shard's name.
 	Shard string `json:"shard"`
-	// Role is "leader" or "replica".
+	// Role is the node's live-topology position, "leader" or
+	// "follower".
 	Role string `json:"role"`
 	// Forwards counts requests proxied to this daemon.
 	Forwards int64 `json:"forwards"`
@@ -83,12 +97,29 @@ type PeerMetrics struct {
 	// Ready / Alive mirror the probe state (see NodeInfo).
 	Ready bool `json:"ready"`
 	Alive bool `json:"alive"`
+	// Epoch / Seq mirror the node's last self-reported replication
+	// evidence (see NodeInfo).
+	Epoch uint64 `json:"epoch"`
+	Seq   uint64 `json:"seq"`
 }
 
 // RouterMetrics answers GET /metrics on the router (JSON view).
 type RouterMetrics struct {
 	// UptimeSeconds is the time since the router started.
 	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// Epoch is the router's topology epoch (see ClusterInfo).
+	Epoch uint64 `json:"epoch"`
+	// Promotions / Demotions / Adoptions count self-healing events:
+	// followers promoted to leader, stale leaders demoted, and
+	// higher-epoch leaders adopted into the topology (router restart).
+	Promotions int64 `json:"promotions"`
+	Demotions  int64 `json:"demotions"`
+	Adoptions  int64 `json:"adoptions"`
+	// PromoteFails counts promotion attempts that did not end in a 200.
+	PromoteFails int64 `json:"promoteFails"`
+	// LastPromotionMs is the wall-clock cost of the most recent
+	// successful promotion, election to acknowledgment (0 when none).
+	LastPromotionMs int64 `json:"lastPromotionMs"`
 	// Shards holds one routing ledger per shard, topology order.
 	Shards []ShardMetrics `json:"shards"`
 	// Peers holds one forwarding ledger per daemon, topology order.

@@ -1,0 +1,109 @@
+package store
+
+// Epoch fencing and the digest chain — the store-side half of replica
+// promotion (DESIGN.md §11.5).
+//
+// Epoch: a monotone leadership generation persisted in the manifest.
+// Sequence numbers minted under epoch E start at E<<32 (Fence), so
+// every record a new leader commits carries a sequence strictly above
+// anything any prior-epoch node could ever have minted — including the
+// unsynced touch records that can leave a demoted old leader's clock
+// ahead of the graph head it replicated. A revived old leader therefore
+// re-syncs through the ordinary follow path with no ErrStaleRecord
+// collisions, and split-brain writes are impossible to confuse: the
+// sequence number itself names the epoch that minted it.
+//
+// Chain: a running splitmix64 fold of (seq, digest) over committed
+// graph records in ascending sequence order. Two replicas with equal
+// (head, chain) hold byte-identical logs — the election tiebreak and
+// the parity assertion the fault e2e pins. Touch records are excluded
+// (they never replicate), so leaders and followers fold the same
+// stream.
+
+import "sort"
+
+// epochSeqBits is the width of the per-epoch sequence space: sequences
+// minted under epoch E live in [E<<32, (E+1)<<32). 2^32 appends per
+// leadership generation is orders of magnitude beyond any deployment;
+// the manifest's SnapshotSeq stays a plain uint64 either way.
+const epochSeqBits = 32
+
+// EpochBase returns the first sequence number of epoch's space — the
+// fence a freshly promoted leader raises its clock to.
+func EpochBase(epoch uint64) uint64 { return epoch << epochSeqBits }
+
+// chainMix folds one committed graph record into the running chain.
+// The splitmix64 finalizer (same constants as the ring hash) avalanches
+// the combination so chains diverge immediately on any reorder,
+// omission, or digest mismatch.
+func chainMix(chain, seq, digest uint64) uint64 {
+	x := chain ^ (seq * 0x9e3779b97f4a7c15) ^ digest
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ChainMix is chainMix for out-of-package consumers that fold the same
+// chain over an in-memory replica (no -data-dir followers).
+func ChainMix(chain, seq, digest uint64) uint64 { return chainMix(chain, seq, digest) }
+
+// Epoch returns the store's persisted leadership epoch.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Chain returns the digest chain over all committed graph records in
+// ascending sequence order.
+func (s *Store) Chain() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.chain
+}
+
+// SetEpoch raises the persisted leadership epoch and snapshots so the
+// new value survives a crash before the caller acts on it. Epochs only
+// move forward; a lower or equal value is a no-op (idempotent re-sends
+// from the router are expected).
+func (s *Store) SetEpoch(epoch uint64) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if epoch <= s.epoch {
+		s.mu.Unlock()
+		return nil
+	}
+	s.epoch = epoch
+	s.epochDirty = true
+	s.mu.Unlock()
+	return s.Snapshot()
+}
+
+// Fence raises the sequence clock to at least minSeq. A promoted
+// leader calls Fence(EpochBase(newEpoch)) before accepting writes so
+// every record it mints outranks all prior-epoch history.
+func (s *Store) Fence(minSeq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if minSeq > s.seq {
+		s.seq = minSeq
+	}
+}
+
+// recomputeChain rebuilds the chain from the resident set sorted by
+// sequence — the recovery path, where registration order (snapshot
+// order + log replay) is only near-sorted. Called with mu held.
+func (s *Store) recomputeChain() {
+	recs := append([]*graphRec(nil), s.graphs...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+	s.chain = 0
+	for _, r := range recs {
+		s.chain = chainMix(s.chain, r.seq, r.digest)
+	}
+}

@@ -67,11 +67,14 @@ type manifestGraph struct {
 
 // manifest is the root document (manifest.json).
 type manifest struct {
-	FormatVersion int             `json:"formatVersion"`
-	CodecVersion  int             `json:"codecVersion"`
-	SnapshotSeq   uint64          `json:"snapshotSeq"`
-	Snapshot      string          `json:"snapshot,omitempty"`
-	Graphs        []manifestGraph `json:"graphs"`
+	FormatVersion int    `json:"formatVersion"`
+	CodecVersion  int    `json:"codecVersion"`
+	SnapshotSeq   uint64 `json:"snapshotSeq"`
+	// Epoch is the leadership generation this replica last acknowledged
+	// (epoch.go); 0 in pre-promotion manifests.
+	Epoch    uint64          `json:"epoch,omitempty"`
+	Snapshot string          `json:"snapshot,omitempty"`
+	Graphs   []manifestGraph `json:"graphs"`
 }
 
 // parseManifest decodes and validates a manifest document. Size limits

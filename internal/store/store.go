@@ -214,6 +214,15 @@ type Store struct {
 	headSeq    uint64
 	replNotify chan struct{}
 
+	// epoch is the persisted leadership generation (epoch.go); chain is
+	// the running digest chain over committed graph records in
+	// ascending-seq order. epochDirty forces the next fold to run even
+	// when no graph or hint changed, so SetEpoch's persistence
+	// guarantee holds.
+	epoch      uint64
+	chain      uint64
+	epochDirty bool
+
 	appendsSinceSnap int
 	hintsDirty       bool // any touch (logged or not) since the last fold
 	quarantined      int
@@ -268,11 +277,16 @@ func Open(opts Options) (*Store, []RecoveredGraph, RecoveryStats, error) {
 		s.loadSnapshot(man, &stats)
 		s.seq = man.SnapshotSeq
 		s.snapshotSeq = man.SnapshotSeq
+		s.epoch = man.Epoch
 		s.hasManifest = true
 	}
 	if err := s.replayLogs(&stats); err != nil {
 		return fail(err)
 	}
+	// Recovery registers near-sorted (snapshot order, then log replay);
+	// the chain is defined over strict ascending sequence, so rebuild it
+	// once from the settled resident set.
+	s.recomputeChain()
 	s.removeOrphans(man)
 	if err := s.openActiveLog(); err != nil {
 		return fail(err)
@@ -487,9 +501,14 @@ func (s *Store) register(r *graphRec) {
 	s.graphs = append(s.graphs, r)
 	s.byDigest[r.digest] = r
 	if r.seq > s.headSeq {
+		s.chain = chainMix(s.chain, r.seq, r.digest)
 		s.headSeq = r.seq
 		close(s.replNotify)
 		s.replNotify = make(chan struct{})
+	} else {
+		// Out-of-order registration (only recovery replay can do this):
+		// the incremental fold would misorder, so rebuild from sorted.
+		s.recomputeChain()
 	}
 }
 
@@ -742,6 +761,7 @@ func sketchEqual(a, b *SketchParams) bool {
 // warm-start hints are value-copied into manGraphs at stage time.
 type snapJob struct {
 	seq           uint64
+	epoch         uint64
 	name          string
 	recs          []*graphRec
 	manGraphs     []manifestGraph
@@ -795,7 +815,7 @@ func (s *Store) stageSnapshot() (*snapJob, error) {
 	if s.failed != nil {
 		return nil, fmt.Errorf("store: log writes disabled after earlier failure: %w", s.failed)
 	}
-	if s.hasManifest && s.appendsSinceSnap == 0 && !s.hintsDirty {
+	if s.hasManifest && s.appendsSinceSnap == 0 && !s.hintsDirty && !s.epochDirty {
 		return nil, nil
 	}
 	if err := s.walBuf.Flush(); err != nil {
@@ -804,6 +824,7 @@ func (s *Store) stageSnapshot() (*snapJob, error) {
 	}
 	job := &snapJob{
 		seq:           s.seq,
+		epoch:         s.epoch,
 		name:          fmt.Sprintf("snapshot-%016x.qcs", s.seq),
 		recs:          append([]*graphRec(nil), s.graphs...),
 		manGraphs:     make([]manifestGraph, len(s.graphs)),
@@ -824,7 +845,9 @@ func (s *Store) stageSnapshot() (*snapJob, error) {
 	}
 	// Cleared before rotateLog's unlocked window: a touch landing in
 	// that window re-dirties the hints and is caught by the next fold.
+	// A publish failure re-dirties both in commitSnapshot.
 	s.hintsDirty = false
+	s.epochDirty = false
 	if err := s.rotateLog(job.seq); err != nil {
 		return nil, err
 	}
@@ -846,6 +869,7 @@ func (s *Store) publishSnapshot(job *snapJob) error {
 		FormatVersion: storeFormatVersion,
 		CodecVersion:  graph.EdgeListVersion,
 		SnapshotSeq:   job.seq,
+		Epoch:         job.epoch,
 		Snapshot:      job.name,
 		Graphs:        job.manGraphs,
 	}
@@ -866,6 +890,7 @@ func (s *Store) commitSnapshot(job *snapJob, pubErr error) {
 	if pubErr != nil {
 		s.lastSnapErr = pubErr.Error()
 		s.hintsDirty = true
+		s.epochDirty = true
 		return
 	}
 	s.hasManifest = true

@@ -48,9 +48,12 @@ type replState struct {
 	wg     sync.WaitGroup
 
 	// cursor is the highest fully applied sequence; head is the
-	// leader's last reported head. Lag = head - cursor.
+	// leader's last reported head. Lag = head - cursor. chain is the
+	// in-memory follower's digest chain fold (durable followers read
+	// the store's chain instead — it covers pre-follow recovery too).
 	cursor      atomic.Uint64
 	head        atomic.Uint64
+	chain       atomic.Uint64
 	applied     atomic.Int64
 	skipped     atomic.Int64
 	rejected    atomic.Int64
@@ -62,37 +65,42 @@ type replState struct {
 // startFollower validates cfg.FollowURL, seeds the cursor from local
 // durable state, and launches the catch-up loop. Called by Open only.
 func (s *Server) startFollower() error {
-	u, err := url.Parse(s.cfg.FollowURL)
+	return s.startFollowerTo(s.cfg.FollowURL)
+}
+
+// startFollowerTo launches a catch-up loop against the leader at the
+// given base URL — the boot path (Open with cfg.FollowURL) and the
+// demotion path (promote.go) share it. Callers must hold roleMu or be
+// pre-serving (Open).
+func (s *Server) startFollowerTo(leader string) error {
+	u, err := url.Parse(leader)
 	if err != nil || u.Scheme == "" || u.Host == "" {
-		return fmt.Errorf("svc: FollowURL %q is not an absolute http(s) base URL", s.cfg.FollowURL)
+		return fmt.Errorf("svc: leader URL %q is not an absolute http(s) base URL", leader)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	rp := &replState{
-		leader: strings.TrimRight(s.cfg.FollowURL, "/"),
+		leader: strings.TrimRight(leader, "/"),
 		maxLag: s.cfg.MaxLagSeq,
 		poll:   s.cfg.FollowPoll,
-		client: &http.Client{},
+		client: &http.Client{Timeout: replRoundTimeout + 10*time.Second},
 		ctx:    ctx,
 		cancel: cancel,
 	}
 	if s.store != nil {
-		// Every recovered graph sits at its original leader sequence, so
-		// the post-recovery clock is the resume point. The clock (not the
-		// graph head) is authoritative: a dir that once logged local
-		// records may have consumed sequences past its last graph, and
-		// ApplyReplicated will refuse anything at or below it.
-		cur := s.store.ReplicationHead()
-		if last := s.recovery.LastSeq; last > cur {
-			cur = last
-		}
-		rp.cursor.Store(cur)
-		rp.head.Store(cur)
+		// The sequence clock (not the graph head) is the resume point: a
+		// dir that once logged local records — or a demoted leader whose
+		// unsynced touches ran the clock ahead — may have consumed
+		// sequences past its last graph, and ApplyReplicated will refuse
+		// anything at or below it. Epoch fencing (store/epoch.go)
+		// guarantees a legitimate new leader only mints above this.
+		rp.cursor.Store(s.store.Stats().LastSeq)
+		rp.head.Store(rp.cursor.Load())
 	}
-	s.repl = rp
+	s.repl.Store(rp)
 	rp.wg.Add(1)
 	go func() {
 		defer rp.wg.Done()
-		s.followLoop()
+		s.followLoop(rp)
 	}()
 	return nil
 }
@@ -100,10 +108,9 @@ func (s *Server) startFollower() error {
 // followLoop drives catch-up rounds until Close cancels it. A round
 // that applied something re-polls immediately (the leader likely has
 // more); an idle or failed round backs off by cfg.FollowPoll.
-func (s *Server) followLoop() {
-	rp := s.repl
+func (s *Server) followLoop(rp *replState) {
 	for {
-		applied, err := s.replicateOnce()
+		applied, err := s.replicateOnce(rp)
 		if rp.ctx.Err() != nil {
 			return
 		}
@@ -122,8 +129,7 @@ func (s *Server) followLoop() {
 
 // replicateOnce runs one catch-up round: long-poll the leader from the
 // cursor, record its head, and apply the streamed records in order.
-func (s *Server) replicateOnce() (applied int64, err error) {
-	rp := s.repl
+func (s *Server) replicateOnce(rp *replState) (applied int64, err error) {
 	ctx, cancel := context.WithTimeout(rp.ctx, replRoundTimeout)
 	defer cancel()
 	u := fmt.Sprintf("%s/v1/replicate?from=%d&wait=%d", rp.leader, rp.cursor.Load(), replWaitMs)
@@ -152,7 +158,7 @@ func (s *Server) replicateOnce() (applied int64, err error) {
 			}
 		}
 	}
-	return s.consumeReplicationStream(resp.Body)
+	return s.consumeReplicationStream(rp, resp.Body)
 }
 
 // consumeReplicationStream applies one replication stream to this
@@ -168,8 +174,7 @@ func (s *Server) replicateOnce() (applied int64, err error) {
 //   - garbage never panics: the frame scanner bounds and checksums
 //     every read, and the graph decoders enforce the configured limits
 //     before allocating.
-func (s *Server) consumeReplicationStream(r io.Reader) (applied int64, err error) {
-	rp := s.repl
+func (s *Server) consumeReplicationStream(rp *replState, r io.Reader) (applied int64, err error) {
 	outcome, err := store.ScanStream(r, func(seq uint64, kind string, payload []byte) error {
 		if kind != store.RecordGraph {
 			rp.skipped.Add(1) // leaders never ship these; tolerate, don't apply
@@ -179,10 +184,15 @@ func (s *Server) consumeReplicationStream(r io.Reader) (applied int64, err error
 			rp.skipped.Add(1) // duplicate or reordered below the cursor
 			return nil
 		}
-		if aerr := s.applyReplicatedRecord(seq, payload); aerr != nil {
+		digest, aerr := s.applyReplicatedRecord(seq, payload)
+		if aerr != nil {
 			rp.rejected.Add(1)
 			return aerr
 		}
+		// Fold the in-memory chain in apply order (which is ascending-seq
+		// by the cursor check above) so parity audits can compare this
+		// replica against the leader's chain even without a local store.
+		rp.chain.Store(store.ChainMix(rp.chain.Load(), seq, digest))
 		rp.cursor.Store(seq)
 		rp.applied.Add(1)
 		rp.lastApply.Store(time.Now().UnixNano())
@@ -210,27 +220,27 @@ func (s *Server) consumeReplicationStream(r io.Reader) (applied int64, err error
 // registry either way. The registry entry's durable latch settles
 // immediately — on a follower, "durable" means "the leader acknowledged
 // it", and the leader only streams fsynced records.
-func (s *Server) applyReplicatedRecord(seq uint64, payload []byte) error {
+func (s *Server) applyReplicatedRecord(seq uint64, payload []byte) (uint64, error) {
 	var g *graph.Graph
 	if s.store != nil {
 		var err error
 		g, _, err = s.store.ApplyReplicated(seq, payload)
 		if err != nil {
-			return err
+			return 0, err
 		}
 	} else {
 		var err error
 		_, _, g, err = store.DecodeGraphRecord(payload, s.cfg.MaxNodes, s.cfg.MaxEdges)
 		if err != nil {
-			return err
+			return 0, err
 		}
 	}
 	e, created, err := s.reg.put(g)
 	if err != nil {
-		return err // registry full: visible as lag + readiness failure
+		return 0, err // registry full: visible as lag + readiness failure
 	}
 	if created {
 		close(e.durable)
 	}
-	return nil
+	return g.Digest(), nil
 }

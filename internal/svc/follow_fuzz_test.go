@@ -22,7 +22,7 @@ import (
 // stream consumer directly.
 func fuzzFollower() *Server {
 	s := New(Config{MaxNodes: 1 << 12, MaxEdges: 1 << 14})
-	s.repl = &replState{leader: "http://fuzz", maxLag: 1024, poll: time.Millisecond}
+	s.repl.Store(&replState{leader: "http://fuzz", maxLag: 1024, poll: time.Millisecond})
 	return s
 }
 
@@ -30,7 +30,7 @@ func fuzzFollower() *Server {
 // hold after consuming any stream whatsoever.
 func checkFollowerInvariants(t *testing.T, s *Server, cursorBefore uint64) {
 	t.Helper()
-	rp := s.repl
+	rp := s.repl.Load()
 	if c := rp.cursor.Load(); c < cursorBefore {
 		t.Fatalf("cursor moved backwards: %d -> %d", cursorBefore, c)
 	}
@@ -87,20 +87,20 @@ func FuzzReplicationStream(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Arbitrary bytes into a fresh follower.
 		s := fuzzFollower()
-		before := s.repl.cursor.Load()
-		_, _ = s.consumeReplicationStream(bytes.NewReader(data))
+		before := s.repl.Load().cursor.Load()
+		_, _ = s.consumeReplicationStream(s.repl.Load(), bytes.NewReader(data))
 		checkFollowerInvariants(t, s, before)
 
 		// Determinism: the same bytes replayed into another fresh
 		// follower land in exactly the same state.
 		s2 := fuzzFollower()
-		_, _ = s2.consumeReplicationStream(bytes.NewReader(data))
-		if s2.repl.cursor.Load() != s.repl.cursor.Load() ||
-			s2.repl.applied.Load() != s.repl.applied.Load() ||
+		_, _ = s2.consumeReplicationStream(s2.repl.Load(), bytes.NewReader(data))
+		if s2.repl.Load().cursor.Load() != s.repl.Load().cursor.Load() ||
+			s2.repl.Load().applied.Load() != s.repl.Load().applied.Load() ||
 			s2.reg.len() != s.reg.len() {
 			t.Fatalf("same stream, diverged followers: cursor %d/%d applied %d/%d graphs %d/%d",
-				s.repl.cursor.Load(), s2.repl.cursor.Load(),
-				s.repl.applied.Load(), s2.repl.applied.Load(),
+				s.repl.Load().cursor.Load(), s2.repl.Load().cursor.Load(),
+				s.repl.Load().applied.Load(), s2.repl.Load().applied.Load(),
 				s.reg.len(), s2.reg.len())
 		}
 
@@ -108,12 +108,12 @@ func FuzzReplicationStream(f *testing.F) {
 		// real stream keeps every graph — and their digests — no matter
 		// what arrives afterwards.
 		s3 := fuzzFollower()
-		if _, err := s3.consumeReplicationStream(bytes.NewReader(stream)); err != nil {
+		if _, err := s3.consumeReplicationStream(s3.repl.Load(), bytes.NewReader(stream)); err != nil {
 			t.Fatalf("clean stream refused: %v", err)
 		}
 		wantGraphs := s3.reg.len()
-		cursorAfterClean := s3.repl.cursor.Load()
-		_, _ = s3.consumeReplicationStream(bytes.NewReader(data))
+		cursorAfterClean := s3.repl.Load().cursor.Load()
+		_, _ = s3.consumeReplicationStream(s3.repl.Load(), bytes.NewReader(data))
 		checkFollowerInvariants(t, s3, cursorAfterClean)
 		if s3.reg.len() < wantGraphs {
 			t.Fatalf("hostile stream evicted committed graphs: %d -> %d", wantGraphs, s3.reg.len())

@@ -250,9 +250,9 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 	// set (the leader would never ship this digest, so no other replica
 	// converges to it). 403, not 503 — retrying against this node can
 	// never succeed; the error names where writes go.
-	if s.repl != nil {
+	if rp := s.repl.Load(); rp != nil {
 		writeError(w, http.StatusForbidden,
-			"this node is a read-only follower; send writes to the leader at %s", s.repl.leader)
+			"this node is a read-only follower; send writes to the leader at %s", rp.leader)
 		return
 	}
 	// Raw uploads skip the JSON wrapper entirely: the body IS the graph,

@@ -15,9 +15,10 @@ const (
 	classSketch    = "sketch"    // POST /v1/graphs/{digest}/sketch
 	classBatch     = "batch"     // POST /v1/batch
 	classReplicate = "replicate" // GET /v1/replicate (follower catch-up)
+	classControl   = "control"   // POST /v1/promote, /v1/demote (role transitions)
 )
 
-var allClasses = []string{classUpload, classQuery, classSketch, classBatch, classReplicate}
+var allClasses = []string{classUpload, classQuery, classSketch, classBatch, classReplicate, classControl}
 
 // latencyBuckets is the histogram resolution: bucket i counts requests
 // with latency in [2^i, 2^(i+1)) microseconds, so the range spans 1 µs

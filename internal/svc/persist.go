@@ -61,6 +61,7 @@ func Open(cfg Config) (*Server, error) {
 	}
 	s.store = st
 	s.recovery = stats
+	s.epoch.Store(st.Epoch())
 	type candidate struct {
 		e         *entry
 		lastQuery uint64
@@ -202,7 +203,7 @@ func (s *Server) awaitDurable(ctx context.Context, e *entry) error {
 // records at or below the clock). Follower warmth comes from serving
 // reads, not from recorded hints.
 func (s *Server) touch(e *entry, sk *store.SketchParams) {
-	if s.store != nil && s.repl == nil {
+	if s.store != nil && s.repl.Load() == nil {
 		s.store.Touch(e.digest, sk)
 	}
 }
@@ -226,11 +227,15 @@ func (s *Server) Recovery() store.RecoveryStats { return s.recovery }
 // releases the data-dir lock, and a successor process must not overlap
 // with this one still building or applying.
 func (s *Server) Close() error {
-	if s.repl != nil {
+	// Hold roleMu so a concurrent promote/demote cannot swap in a fresh
+	// follow loop between the cancel and the store close.
+	s.roleMu.Lock()
+	if rp := s.repl.Load(); rp != nil {
 		// Stop tailing before the store closes under the apply path.
-		s.repl.cancel()
-		s.repl.wg.Wait()
+		rp.cancel()
+		rp.wg.Wait()
 	}
+	s.roleMu.Unlock()
 	if s.store == nil {
 		return nil
 	}

@@ -1,0 +1,176 @@
+package svc
+
+// The control plane of replica promotion: POST /v1/promote turns a
+// follower into the shard leader, POST /v1/demote turns a (usually
+// revived, stale) leader back into a follower. Both are driven by the
+// router's health prober (internal/cluster/promote.go) and fenced by a
+// monotone epoch number:
+//
+//   - promotion carries epoch E+1 (one above the router's topology
+//     epoch). The node persists it in the store manifest and fences its
+//     sequence clock to store.EpochBase(E+1), so every record it mints
+//     outranks all prior-epoch history — including the unsynced touch
+//     records that can leave a dead leader's clock ahead of its head.
+//   - demotion carries the epoch of the leadership it acknowledges. A
+//     revived old leader (epoch E) accepts a demote at E+1, persists
+//     the epoch, and re-syncs through the ordinary follow path; a
+//     *stale* demote (epoch below the node's own) is refused 409, so a
+//     router restarted with an old topology can never demote the
+//     legitimate leader.
+//
+// Transitions serialize on roleMu; request handlers read the role
+// lock-free through the repl atomic pointer. With Config.ClusterToken
+// set, both endpoints require a matching X-Cluster-Token header.
+
+import (
+	"crypto/subtle"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"qcongest/internal/store"
+)
+
+// trimURL normalizes a leader base URL the way startFollowerTo does,
+// so idempotence checks compare like with like.
+func trimURL(u string) string { return strings.TrimRight(u, "/") }
+
+// clusterTokenHeader authenticates control-plane calls.
+const clusterTokenHeader = "X-Cluster-Token"
+
+// clusterAuth enforces Config.ClusterToken on control-plane endpoints
+// (open when unset), writing the 403 itself on mismatch.
+func (s *Server) clusterAuth(w http.ResponseWriter, r *http.Request) bool {
+	want := s.cfg.ClusterToken
+	if want == "" {
+		return true
+	}
+	got := r.Header.Get(clusterTokenHeader)
+	if subtle.ConstantTimeCompare([]byte(got), []byte(want)) != 1 {
+		writeError(w, http.StatusForbidden, "missing or wrong %s", clusterTokenHeader)
+		return false
+	}
+	return true
+}
+
+// roleResponse assembles the settled-role answer for both transitions.
+// Called with roleMu held (the role cannot flap mid-assembly).
+func (s *Server) roleResponse() RoleResponse {
+	resp := RoleResponse{Role: "leader", Epoch: s.epoch.Load()}
+	if rp := s.repl.Load(); rp != nil {
+		resp.Role = "follower"
+		resp.Seq = rp.cursor.Load()
+		resp.Chain = formatChain(rp.chain.Load())
+	}
+	if s.store != nil {
+		resp.Chain = formatChain(s.store.Chain())
+		if resp.Role == "leader" {
+			resp.Seq = s.store.ReplicationHead()
+		}
+	}
+	return resp
+}
+
+// handlePromote makes this node the shard leader at the requested
+// epoch: stop the follow loop, persist + fence the epoch, and reopen
+// for writes. Idempotent for a leader already at (or above) the epoch;
+// refused 409 when the epoch does not beat this node's own — promoting
+// a follower at its *current* epoch would seat two leaders in one
+// generation.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterAuth(w, r) {
+		return
+	}
+	var req PromoteRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Epoch == 0 {
+		writeError(w, http.StatusBadRequest, "epoch must be >= 1")
+		return
+	}
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	cur := s.epoch.Load()
+	rp := s.repl.Load()
+	if req.Epoch < cur || (rp != nil && req.Epoch == cur) {
+		writeError(w, http.StatusConflict,
+			"promotion epoch %d does not beat this node's epoch %d", req.Epoch, cur)
+		return
+	}
+	if rp == nil && req.Epoch == cur {
+		writeJSON(w, http.StatusOK, s.roleResponse()) // already the leader
+		return
+	}
+	if rp != nil {
+		// Stop tailing before the fence: a record applying mid-promotion
+		// must not interleave with the clock raise.
+		rp.cancel()
+		rp.wg.Wait()
+	}
+	if s.store != nil {
+		if err := s.store.SetEpoch(req.Epoch); err != nil {
+			// The epoch is not durably acknowledged, so leadership cannot
+			// be either; fall back to following the old leader.
+			if rp != nil {
+				_ = s.startFollowerTo(rp.leader)
+			}
+			writeError(w, http.StatusInternalServerError, "persisting epoch: %v", err)
+			return
+		}
+		s.store.Fence(store.EpochBase(req.Epoch))
+	}
+	s.epoch.Store(req.Epoch)
+	s.repl.Store(nil)
+	writeJSON(w, http.StatusOK, s.roleResponse())
+}
+
+// handleDemote makes this node a follower of the given leader at the
+// requested epoch. The epoch must be at least this node's own — a
+// stale router (or a partitioned prober working from old topology)
+// must never demote the legitimate current leader.
+func (s *Server) handleDemote(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterAuth(w, r) {
+		return
+	}
+	var req DemoteRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if u, err := url.Parse(req.Leader); err != nil || u.Scheme == "" || u.Host == "" {
+		writeError(w, http.StatusBadRequest, "leader %q is not an absolute http(s) base URL", req.Leader)
+		return
+	}
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	cur := s.epoch.Load()
+	if req.Epoch < cur {
+		writeError(w, http.StatusConflict,
+			"demotion epoch %d is below this node's epoch %d", req.Epoch, cur)
+		return
+	}
+	if rp := s.repl.Load(); rp != nil {
+		if rp.leader == trimURL(req.Leader) && req.Epoch == cur {
+			writeJSON(w, http.StatusOK, s.roleResponse()) // already following
+			return
+		}
+		// Retarget: stop the old loop before seeding a new cursor.
+		rp.cancel()
+		rp.wg.Wait()
+	}
+	if s.store != nil {
+		// Persist the acknowledgment before following: a crash mid-demote
+		// must revive already knowing about the new generation, or it
+		// would boot believing itself the epoch-cur leader again.
+		if err := s.store.SetEpoch(req.Epoch); err != nil {
+			writeError(w, http.StatusInternalServerError, "persisting epoch: %v", err)
+			return
+		}
+	}
+	s.epoch.Store(req.Epoch)
+	if err := s.startFollowerTo(req.Leader); err != nil {
+		writeError(w, http.StatusInternalServerError, "starting follower: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.roleResponse())
+}

@@ -1,0 +1,180 @@
+package svc_test
+
+// Control-plane suite for /v1/promote and /v1/demote: the epoch rules
+// (monotone, no same-epoch double leaders, no stale demotions), the
+// full follower→leader→follower round trip with epoch-fenced sequence
+// numbers and chain parity, and the X-Cluster-Token gate.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"qcongest/internal/svc"
+)
+
+// control POSTs one promote/demote request and decodes the answer
+// whatever the status.
+func control(t *testing.T, baseURL, path, token string, body any) (int, svc.RoleResponse, svc.ErrorResponse) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, baseURL+path, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("X-Cluster-Token", token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var role svc.RoleResponse
+	var er svc.ErrorResponse
+	var payload json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatalf("POST %s: undecodable body: %v", path, err)
+	}
+	_ = json.Unmarshal(payload, &role)
+	_ = json.Unmarshal(payload, &er)
+	return resp.StatusCode, role, er
+}
+
+// TestPromoteDemoteRoundTrip drives one shard pair through the whole
+// transition by hand: promote the in-sync follower, write into the new
+// epoch (fenced sequence space), demote the old leader, and watch it
+// re-sync to exact seq and chain parity.
+func TestPromoteDemoteRoundTrip(t *testing.T) {
+	leader, lc := openPersistent(t, svc.Config{DataDir: t.TempDir()})
+	defer leader.Close()
+	if _, err := lc.Upload(workload(t, 48)); err != nil {
+		t.Fatal(err)
+	}
+	follower, fc := openPersistent(t, svc.Config{
+		DataDir:    t.TempDir(),
+		FollowURL:  lc.BaseURL,
+		FollowPoll: 20 * time.Millisecond,
+	})
+	defer follower.Close()
+	waitUntil(t, 10*time.Second, "follower catch-up", func() bool {
+		_, h := getHealth(t, fc.BaseURL)
+		_, lh := getHealth(t, lc.BaseURL)
+		return h.Replication != nil && h.Replication.Seq == lh.Replication.Seq
+	})
+
+	// Epoch 0 sanity: promoting at epoch 0 is malformed, and promoting a
+	// follower at its current epoch would seat two epoch-0 leaders.
+	if code, _, _ := control(t, fc.BaseURL, "/v1/promote", "", svc.PromoteRequest{Epoch: 0}); code != http.StatusBadRequest {
+		t.Fatalf("promote at epoch 0: %d, want 400", code)
+	}
+
+	// Promote the follower to epoch 1: it answers leader, stops
+	// following, and accepts writes into the fenced sequence space.
+	code, role, _ := control(t, fc.BaseURL, "/v1/promote", "", svc.PromoteRequest{Epoch: 1})
+	if code != http.StatusOK || role.Role != "leader" || role.Epoch != 1 {
+		t.Fatalf("promote: %d %+v, want 200 leader epoch 1", code, role)
+	}
+	// Idempotent replay of the same promotion.
+	if code, role, _ = control(t, fc.BaseURL, "/v1/promote", "", svc.PromoteRequest{Epoch: 1}); code != http.StatusOK || role.Role != "leader" {
+		t.Fatalf("promote replay: %d %+v", code, role)
+	}
+	// A later, stale promotion attempt at an old epoch is refused.
+	if code, _, _ = control(t, fc.BaseURL, "/v1/promote", "", svc.PromoteRequest{Epoch: 1}); code != http.StatusOK {
+		t.Fatalf("same-epoch leader promote should stay idempotent: %d", code)
+	}
+
+	up, err := fc.Upload(workload(t, 80))
+	if err != nil || !up.Created {
+		t.Fatalf("write on the promoted leader: (%+v, %v)", up, err)
+	}
+	_, nh := getHealth(t, fc.BaseURL)
+	if nh.Replication.Role != "leader" || nh.Replication.Seq < 1<<32 {
+		t.Fatalf("promoted head %+v, want leader with seq >= 1<<32 (epoch fence)", nh.Replication)
+	}
+
+	// The old leader at epoch 0 refuses a demotion below its own epoch
+	// only when stale; epoch 1 is legitimate and turns it around.
+	if code, _, _ = control(t, lc.BaseURL, "/v1/demote", "", svc.DemoteRequest{Epoch: 1, Leader: "not a url"}); code != http.StatusBadRequest {
+		t.Fatalf("demote with a bogus leader URL: %d, want 400", code)
+	}
+	code, role, _ = control(t, lc.BaseURL, "/v1/demote", "", svc.DemoteRequest{Epoch: 1, Leader: fc.BaseURL})
+	if code != http.StatusOK || role.Role != "follower" || role.Epoch != 1 {
+		t.Fatalf("demote: %d %+v, want 200 follower epoch 1", code, role)
+	}
+	// A stale demotion (epoch below the node's) is refused now.
+	if code, _, _ = control(t, lc.BaseURL, "/v1/demote", "", svc.DemoteRequest{Epoch: 0, Leader: fc.BaseURL}); code != http.StatusConflict {
+		t.Fatalf("stale demote: %d, want 409", code)
+	}
+
+	// The demoted node re-syncs to exact parity with the new leader.
+	var oldH svc.HealthResponse
+	waitUntil(t, 10*time.Second, "demoted leader parity", func() bool {
+		_, oldH = getHealth(t, lc.BaseURL)
+		_, nh = getHealth(t, fc.BaseURL)
+		return oldH.Replication != nil &&
+			oldH.Replication.Seq == nh.Replication.Seq &&
+			oldH.Replication.Chain == nh.Replication.Chain
+	})
+	if oldH.Replication.Chain == "" || oldH.Replication.Chain == "0000000000000000" {
+		t.Fatalf("parity chain is trivial: %q", oldH.Replication.Chain)
+	}
+	// Writes bounce off the demoted node like any follower.
+	if _, err := lc.Upload(workload(t, 12)); err == nil {
+		t.Fatal("write on the demoted leader succeeded")
+	}
+	// And a same-epoch promotion of the now-follower is refused: epoch 1
+	// already has a leader.
+	if code, _, _ = control(t, lc.BaseURL, "/v1/promote", "", svc.PromoteRequest{Epoch: 1}); code != http.StatusConflict {
+		t.Fatalf("same-epoch follower promote: %d, want 409", code)
+	}
+}
+
+// TestClusterTokenGate pins the control-plane auth: with a token
+// configured, promote/demote demand the exact X-Cluster-Token and
+// everything else on the daemon stays open.
+func TestClusterTokenGate(t *testing.T) {
+	srv, c := openPersistent(t, svc.Config{DataDir: t.TempDir(), ClusterToken: "s3cret"})
+	defer srv.Close()
+
+	if code, _, _ := control(t, c.BaseURL, "/v1/promote", "", svc.PromoteRequest{Epoch: 1}); code != http.StatusForbidden {
+		t.Fatalf("tokenless promote: %d, want 403", code)
+	}
+	if code, _, _ := control(t, c.BaseURL, "/v1/promote", "wrong", svc.PromoteRequest{Epoch: 1}); code != http.StatusForbidden {
+		t.Fatalf("wrong-token promote: %d, want 403", code)
+	}
+	if code, _, _ := control(t, c.BaseURL, "/v1/demote", "bad", svc.DemoteRequest{Epoch: 1, Leader: "http://127.0.0.1:9"}); code != http.StatusForbidden {
+		t.Fatalf("wrong-token demote: %d, want 403", code)
+	}
+	code, role, _ := control(t, c.BaseURL, "/v1/promote", "s3cret", svc.PromoteRequest{Epoch: 1})
+	if code != http.StatusOK || role.Role != "leader" || role.Epoch != 1 {
+		t.Fatalf("tokened promote: %d %+v", code, role)
+	}
+	// The data plane is untouched by the gate.
+	if _, err := c.Upload(workload(t, 24)); err != nil {
+		t.Fatalf("data-plane upload with a cluster token set: %v", err)
+	}
+}
+
+// TestControlEndpointsMethodGate pins the routing: promote/demote are
+// POST-only.
+func TestControlEndpointsMethodGate(t *testing.T) {
+	srv, c := openPersistent(t, svc.Config{DataDir: t.TempDir()})
+	defer srv.Close()
+	for _, path := range []string{"/v1/promote", "/v1/demote"} {
+		resp, err := http.Get(c.BaseURL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s: %d, want 405", path, resp.StatusCode)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package svc
 // commit reaches replicas with sub-poll-interval latency.
 
 import (
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -89,18 +90,26 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 // role-and-head stanza for durable leaders. nil for in-memory
 // standalone servers, which have no replication identity at all.
 func (s *Server) replicationStatus() *ReplicationHealth {
-	if rp := s.repl; rp != nil {
+	if rp := s.repl.Load(); rp != nil {
 		cursor, head := rp.cursor.Load(), rp.head.Load()
 		st := &ReplicationHealth{
 			Role:            "follower",
 			Leader:          rp.leader,
+			Epoch:           s.epoch.Load(),
 			Seq:             cursor,
 			LeaderSeq:       head,
 			MaxLagSeq:       rp.maxLag,
+			Chain:           formatChain(rp.chain.Load()),
 			AppliedGraphs:   rp.applied.Load(),
 			SkippedRecords:  rp.skipped.Load(),
 			RejectedRecords: rp.rejected.Load(),
 			StreamErrors:    rp.streamErrs.Load(),
+		}
+		if s.store != nil {
+			// The store's chain also covers graphs recovered before this
+			// follow loop started; the in-memory fold only covers applied
+			// records.
+			st.Chain = formatChain(s.store.Chain())
 		}
 		if head > cursor {
 			st.SeqDelta = head - cursor
@@ -114,7 +123,16 @@ func (s *Server) replicationStatus() *ReplicationHealth {
 		return st
 	}
 	if s.store != nil {
-		return &ReplicationHealth{Role: "leader", Seq: s.store.ReplicationHead()}
+		return &ReplicationHealth{
+			Role:  "leader",
+			Epoch: s.epoch.Load(),
+			Seq:   s.store.ReplicationHead(),
+			Chain: formatChain(s.store.Chain()),
+		}
 	}
 	return nil
 }
+
+// formatChain renders a digest chain in the same 16-hex form as graph
+// digests, so parity tooling compares strings it already understands.
+func formatChain(c uint64) string { return fmt.Sprintf("%016x", c) }

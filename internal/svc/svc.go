@@ -147,6 +147,11 @@ type Config struct {
 	// (default 250ms; the catch-up loop long-polls the leader, so this
 	// only paces reconnects and error backoff).
 	FollowPoll time.Duration
+	// ClusterToken, when non-empty, authenticates the cluster control
+	// plane: POST /v1/promote and /v1/demote require a matching
+	// X-Cluster-Token header. Empty leaves them open (single-operator
+	// dev clusters); production routers and daemons share one token.
+	ClusterToken string
 }
 
 func (c Config) withDefaults() Config {
@@ -214,8 +219,16 @@ type Server struct {
 	logger  *slog.Logger
 	limiter *limiter
 
-	// Replication state (nil = not a follower). See follow.go.
-	repl *replState
+	// Replication state (nil = accepts writes). An atomic pointer
+	// because promotion and demotion (promote.go) swap the role at
+	// runtime while request handlers read it lock-free; roleMu
+	// serializes the transitions themselves, and epoch mirrors the
+	// store's persisted leadership generation for lock-free reads
+	// (authoritative even on in-memory nodes, which persist nothing).
+	// See follow.go and promote.go.
+	repl   atomic.Pointer[replState]
+	roleMu sync.Mutex
+	epoch  atomic.Uint64
 
 	// Durability state (nil store = in-memory server). See persist.go.
 	store      *store.Store
@@ -318,6 +331,18 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 		// Metered but never rate-limited: follower catch-up traffic
 		// carries no API key, and a throttled replica is a stale replica.
 		s.instrumentOpts(classReplicate, false, s.handleReplicate)(w, r)
+	case path == "/v1/promote" || path == "/v1/demote":
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		// Control-plane traffic is authenticated by token, not API key,
+		// and never rate-limited: a throttled promotion is an outage.
+		if path == "/v1/promote" {
+			s.instrumentOpts(classControl, false, s.handlePromote)(w, r)
+		} else {
+			s.instrumentOpts(classControl, false, s.handleDemote)(w, r)
+		}
 	default:
 		writeError(w, http.StatusNotFound, "no such route (see API.md)")
 	}

@@ -364,6 +364,17 @@ type ReplicationHealth struct {
 	Role string `json:"role"`
 	// Leader is the followed base URL (followers only).
 	Leader string `json:"leader,omitempty"`
+	// Epoch is the leadership generation this node last acknowledged —
+	// bumped by /v1/promote and /v1/demote, persisted in the store
+	// manifest on durable nodes. The router's election fencing compares
+	// these (see API.md "Cluster control plane").
+	Epoch uint64 `json:"epoch"`
+	// Chain is this node's digest chain (16 hex digits): a running fold
+	// of (seq, digest) over committed graph records in ascending
+	// sequence order. Two replicas with equal Seq and Chain hold
+	// byte-identical replicated logs — the parity assertion of the
+	// fault e2e and qload's cluster audit.
+	Chain string `json:"chain,omitempty"`
 	// Seq is this node's replication position: the highest committed
 	// graph sequence on a leader, the catch-up cursor on a follower.
 	Seq uint64 `json:"seq"`
@@ -410,6 +421,38 @@ type HealthResponse struct {
 	// Replication reports the node's cluster role and catch-up
 	// position (durable leaders and all followers).
 	Replication *ReplicationHealth `json:"replication,omitempty"`
+}
+
+// PromoteRequest is the body of POST /v1/promote: make this node the
+// shard leader at the given epoch.
+type PromoteRequest struct {
+	// Epoch is the new leadership generation — must be strictly above
+	// every epoch any prior leader of the shard acknowledged. The
+	// router sends its topology epoch + 1.
+	Epoch uint64 `json:"epoch"`
+}
+
+// DemoteRequest is the body of POST /v1/demote: make this node a
+// follower of the given leader at the given epoch.
+type DemoteRequest struct {
+	// Epoch is the leadership generation being acknowledged (the
+	// current leader's); below this node's own epoch it is refused.
+	Epoch uint64 `json:"epoch"`
+	// Leader is the base URL of the leader to follow.
+	Leader string `json:"leader"`
+}
+
+// RoleResponse answers /v1/promote and /v1/demote with the node's
+// settled role.
+type RoleResponse struct {
+	// Role is "leader" or "follower" after the transition.
+	Role string `json:"role"`
+	// Epoch is the acknowledged leadership generation.
+	Epoch uint64 `json:"epoch"`
+	// Seq is the node's replication position (head or cursor).
+	Seq uint64 `json:"seq"`
+	// Chain is the node's digest chain at Seq (16 hex digits).
+	Chain string `json:"chain,omitempty"`
 }
 
 // CacheMetrics is the sketch-cache section of /metrics, mirroring
